@@ -1,0 +1,30 @@
+//! Emulator throughput: instructions per second of the interpreter that
+//! backs every Time% measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use e9synth::{generate, Profile};
+use e9vm::{load_elf, Vm};
+
+fn bench_emulate(c: &mut Criterion) {
+    let prog = generate(&Profile::tiny("bench-vm", false));
+    // Measure raw retired instructions for throughput accounting.
+    let insns = {
+        let mut vm = Vm::new();
+        load_elf(&mut vm, &prog.binary).unwrap();
+        vm.run(u64::MAX).unwrap().insns
+    };
+
+    let mut g = c.benchmark_group("emulate");
+    g.throughput(Throughput::Elements(insns));
+    g.bench_function("run_tiny_program", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new();
+            load_elf(&mut vm, std::hint::black_box(&prog.binary)).unwrap();
+            vm.run(u64::MAX).unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_emulate);
+criterion_main!(benches);

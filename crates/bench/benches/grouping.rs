@@ -1,0 +1,44 @@
+//! Physical page grouping micro-benchmark: the greedy partitioning pass
+//! over scattered trampolines (§4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn scattered_trampolines(n: usize) -> Vec<(u64, Vec<u8>)> {
+    // Mimic punned placement: uniform over a 256 MB window, 16–40 bytes
+    // each, non-overlapping by construction.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut v = Vec::with_capacity(n);
+    let mut used = std::collections::BTreeSet::new();
+    while v.len() < n {
+        let slot = rng.gen_range(0..(256u64 << 20) / 64);
+        if used.insert(slot) {
+            let addr = 0x1000_0000 + slot * 64;
+            let len = rng.gen_range(16..40);
+            v.push((addr, vec![0xCC; len]));
+        }
+    }
+    v
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grouping");
+    for n in [1_000usize, 10_000] {
+        let ts = scattered_trampolines(n);
+        g.throughput(Throughput::Elements(n as u64));
+        for m in [1u64, 16] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("greedy_m{m}"), n),
+                &ts,
+                |b, ts| {
+                    b.iter(|| e9patch::group::group(std::hint::black_box(ts), m, true));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_grouping);
+criterion_main!(benches);

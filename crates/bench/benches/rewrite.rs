@@ -1,0 +1,54 @@
+//! Rewriter throughput: sites patched per second — the paper's
+//! scalability argument is that patching is local and needs no global
+//! analysis, so cost is linear in the number of sites.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use e9front::{instrument_with_disasm, Application, Options, Payload};
+use e9patch::RewriteConfig;
+use e9synth::{generate, Preset, Profile};
+
+fn bench_rewrite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rewrite");
+    for scale in [400u64, 100] {
+        let profile = Profile::scaled(
+            "bench-rw",
+            false,
+            Preset::Int,
+            e9synth::PaperRow {
+                size_mb: 1.0,
+                a1_loc: 36821,
+                a2_loc: 7522,
+                a1_succ: 100.0,
+                a2_succ: 100.0,
+            },
+            scale,
+            0,
+            2,
+        );
+        let prog = generate(&profile);
+        let sites = prog.disasm.iter().filter(|i| i.kind.is_jump()).count();
+        g.throughput(Throughput::Elements(sites as u64));
+        g.bench_with_input(
+            BenchmarkId::new("a1_empty", sites),
+            &prog,
+            |b, prog| {
+                b.iter(|| {
+                    instrument_with_disasm(
+                        &prog.binary,
+                        &prog.disasm,
+                        &Options {
+                            app: Application::A1Jumps,
+                            payload: Payload::Empty,
+                            config: RewriteConfig::default(),
+                        },
+                    )
+                    .unwrap()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rewrite);
+criterion_main!(benches);

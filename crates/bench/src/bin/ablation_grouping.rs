@@ -1,0 +1,73 @@
+//! Experiment E4 — the §6.1 file-size ablation: physical page grouping
+//! ON (the paper's +57.43%/+30.90% averages) versus the naïve one-to-one
+//! physical↔virtual mapping (the paper's +2239.83%/+568.96% blow-up).
+//!
+//! Usage: `cargo run --release -p e9bench --bin ablation_grouping [--quick]`
+
+use e9front::{instrument_with_disasm, Application, Options, Payload};
+use e9patch::RewriteConfig;
+use e9synth::generate;
+
+fn main() {
+    let scale = e9bench::scale_from_env();
+    let quick = e9bench::quick_from_args();
+    let mut profiles = e9synth::spec_profiles(scale);
+    if quick {
+        let keep = ["perlbench", "bzip2", "mcf", "lbm"];
+        profiles.retain(|p| keep.contains(&p.name.as_str()));
+    }
+
+    println!("File-size ablation: physical page grouping vs naive 1:1 backing\n");
+    for (app, label) in [
+        (Application::A1Jumps, "A1 jumps"),
+        (Application::A2HeapWrites, "A2 heap writes"),
+    ] {
+        println!(
+            "{:<14} {:>12} {:>12} {:>10} {:>10}   [{label}]",
+            "Binary", "grouped%", "naive%", "physblk", "virtblk"
+        );
+        let mut grouped_pcts = Vec::new();
+        let mut naive_pcts = Vec::new();
+        for p in &profiles {
+            let sb = generate(p);
+            let mut sizes = Vec::new();
+            let mut blocks = (0, 0);
+            for grouping in [true, false] {
+                let out = instrument_with_disasm(
+                    &sb.binary,
+                    &sb.disasm,
+                    &Options {
+                        app,
+                        payload: Payload::Empty,
+                        config: RewriteConfig {
+                            grouping,
+                            ..RewriteConfig::default()
+                        },
+                    },
+                )
+                .expect("instrument");
+                sizes.push(out.rewrite.size.size_pct());
+                if grouping {
+                    blocks = (
+                        out.rewrite.size.physical_blocks,
+                        out.rewrite.size.virtual_blocks,
+                    );
+                }
+            }
+            println!(
+                "{:<14} {:>11.1}% {:>11.1}% {:>10} {:>10}",
+                p.name, sizes[0], sizes[1], blocks.0, blocks.1
+            );
+            grouped_pcts.push(sizes[0]);
+            naive_pcts.push(sizes[1]);
+        }
+        let avg = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        println!(
+            "{:<14} {:>11.1}% {:>11.1}%   (average)\n",
+            "Average",
+            avg(&grouped_pcts),
+            avg(&naive_pcts)
+        );
+    }
+    println!("paper reference: grouped +57.43%/+30.90%, naive +2239.83%/+568.96% (A1/A2)");
+}

@@ -1,0 +1,85 @@
+//! Internal debugging tool: localize a behavioural divergence between an
+//! original and patched binary by comparing architectural state at every
+//! `ret` retired at an original text address.
+
+use e9front::{instrument_with_disasm, Application, Options, Payload};
+use e9patch::RewriteConfig;
+use e9synth::{generate, Profile};
+use e9vm::{load_elf, Vm};
+use e9x86::reg::Reg;
+
+fn trace_steps(
+    binary: &[u8],
+    text: (u64, u64),
+    exclude: &std::collections::HashSet<u64>,
+    limit: usize,
+) -> Vec<(u64, u64)> {
+    let mut vm = Vm::new();
+    load_elf(&mut vm, binary).unwrap();
+    let mut out = Vec::new();
+    loop {
+        let rip = vm.cpu.rip;
+        if rip >= text.0 && rip < text.1 && !exclude.contains(&rip) {
+            out.push((rip, vm.cpu.get(Reg::R12)));
+            if out.len() >= limit {
+                return out;
+            }
+        }
+        match vm.step() {
+            Ok(true) => {}
+            _ => return out,
+        }
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "vim".into());
+    let scale: u64 = std::env::var("E9_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    let profile = e9synth::all_profiles(scale)
+        .into_iter()
+        .find(|p| p.name == name)
+        .unwrap_or_else(|| Profile::tiny(&name, false));
+    let sb = generate(&profile);
+    let out = instrument_with_disasm(
+        &sb.binary,
+        &sb.disasm,
+        &Options {
+            app: Application::A1Jumps,
+            payload: Payload::Empty,
+            config: RewriteConfig::default(),
+        },
+    )
+    .unwrap();
+    println!("stats: {:?}", out.rewrite.stats);
+    let text = (sb.text_vaddr, sb.text_vaddr + sb.code_len as u64);
+    // Patched sites never retire at their original rip (they run in
+    // trampolines); exclude them from the original trace for alignment.
+    let patched_sites: std::collections::HashSet<u64> = sb
+        .disasm
+        .iter()
+        .filter(|i| i.kind.is_jump())
+        .map(|i| i.addr)
+        .collect();
+    let a = trace_steps(&sb.binary, text, &patched_sites, 200_000);
+    let b = trace_steps(&out.rewrite.binary, text, &patched_sites, 200_000);
+    println!("orig steps: {}, patched steps: {}", a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        if x != y {
+            println!("first divergence at aligned step #{i}:");
+            for j in i.saturating_sub(5)..(i + 3).min(a.len()).min(b.len()) {
+                println!("  orig[{j}] = {:x?}   patched[{j}] = {:x?}", a[j], b[j]);
+            }
+            // Decode around the divergent original rip.
+            let elfo = e9elf::Elf::parse(&sb.binary).unwrap();
+            let elfp = e9elf::Elf::parse(&out.rewrite.binary).unwrap();
+            let from = a[i].0.saturating_sub(24).max(text.0);
+            println!("original bytes @{from:#x}: {:02x?}", elfo.slice_at(from, 40).unwrap());
+            println!("patched  bytes @{from:#x}: {:02x?}", elfp.slice_at(from, 40).unwrap());
+            return;
+        }
+    }
+    println!("no divergence in compared prefix");
+}

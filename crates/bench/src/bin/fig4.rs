@@ -1,0 +1,39 @@
+//! Experiment E2 — regenerate **Figure 4**: relative runtime overhead of
+//! A2 (heap-write) empty instrumentation on Chrome- and FireFox-class
+//! binaries across the fourteen Dromaeo DOM sub-benchmarks.
+//!
+//! Usage: `cargo run --release -p e9bench --bin fig4`
+
+use e9bench::{geomean, measure};
+use e9front::{Application, Payload};
+use e9patch::RewriteConfig;
+use e9synth::{dromaeo_kernel, DROMAEO_KERNELS};
+
+fn main() {
+    println!("Figure 4 reproduction: Dromaeo DOM overheads (A2 empty instrumentation)\n");
+    println!("{:<18} {:>14} {:>14}", "Benchmark", "Chrome", "FireFox");
+    let mut chrome = Vec::new();
+    let mut firefox = Vec::new();
+    for kernel in DROMAEO_KERNELS {
+        let mut row = Vec::new();
+        for (browser, acc) in [("chrome", &mut chrome), ("firefox", &mut firefox)] {
+            let p = dromaeo_kernel(browser, kernel);
+            let r = measure(
+                &p,
+                Application::A2HeapWrites,
+                Payload::Empty,
+                RewriteConfig::default(),
+            );
+            acc.push(r.time_pct);
+            row.push(r.time_pct);
+        }
+        println!("{:<18} {:>13.1}% {:>13.1}%", kernel, row[0], row[1]);
+    }
+    println!(
+        "{:<18} {:>13.1}% {:>13.1}%   (geometric mean)",
+        "Geom.Mean",
+        geomean(&chrome),
+        geomean(&firefox)
+    );
+    println!("\npaper reference: Chrome ≈ 213% (i.e. ~113% overhead), FireFox ≈ 146%");
+}

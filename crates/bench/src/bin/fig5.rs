@@ -1,0 +1,95 @@
+//! Experiment E3 — regenerate **Figure 5**: per-benchmark timings of A2
+//! empty instrumentation versus LowFat redzone-checking instrumentation
+//! (the §6.3 heap-write hardening application), over SPEC-like rows and
+//! the browser kernels.
+//!
+//! Usage: `cargo run --release -p e9bench --bin fig5 [--quick]`
+
+use e9bench::{geomean, measure, quick_from_args, scale_from_env};
+use e9front::{Application, Payload};
+use e9patch::RewriteConfig;
+use e9synth::{dromaeo_kernel, DROMAEO_KERNELS};
+
+fn main() {
+    let scale = scale_from_env();
+    let quick = quick_from_args();
+    let mut profiles = e9synth::spec_profiles(scale);
+    if quick {
+        let keep = ["perlbench", "bzip2", "mcf", "milc", "lbm", "sjeng"];
+        profiles.retain(|p| keep.contains(&p.name.as_str()));
+    }
+
+    println!("Figure 5 reproduction: A2 empty vs LowFat instrumentation (Time%)\n");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "Benchmark", "A2 empty", "LowFat", "violations"
+    );
+    let mut empty_all = Vec::new();
+    let mut lowfat_all = Vec::new();
+    for p in &profiles {
+        let e = measure(
+            p,
+            Application::A2HeapWrites,
+            Payload::Empty,
+            RewriteConfig::default(),
+        );
+        let l = measure(
+            p,
+            Application::A2HeapWrites,
+            Payload::LowFat,
+            RewriteConfig::default(),
+        );
+        assert_eq!(l.violations, 0, "{}: false positives", p.name);
+        println!(
+            "{:<14} {:>11.1}% {:>11.1}% {:>12}",
+            p.name, e.time_pct, l.time_pct, l.violations
+        );
+        empty_all.push(e.time_pct);
+        lowfat_all.push(l.time_pct);
+    }
+    println!(
+        "{:<14} {:>11.1}% {:>11.1}%   (SPEC geomean)",
+        "SPEC Mean",
+        geomean(&empty_all),
+        geomean(&lowfat_all)
+    );
+
+    // Browser points (Chrome/FireFox means over the Dromaeo kernels).
+    for browser in ["chrome", "firefox"] {
+        let kernels: &[&str] = if quick {
+            &DROMAEO_KERNELS[..3]
+        } else {
+            &DROMAEO_KERNELS
+        };
+        let mut e_v = Vec::new();
+        let mut l_v = Vec::new();
+        for kernel in kernels {
+            let p = dromaeo_kernel(browser, kernel);
+            e_v.push(
+                measure(
+                    &p,
+                    Application::A2HeapWrites,
+                    Payload::Empty,
+                    RewriteConfig::default(),
+                )
+                .time_pct,
+            );
+            let l = measure(
+                &p,
+                Application::A2HeapWrites,
+                Payload::LowFat,
+                RewriteConfig::default(),
+            );
+            assert_eq!(l.violations, 0);
+            l_v.push(l.time_pct);
+        }
+        println!(
+            "{:<14} {:>11.1}% {:>11.1}%   (browser mean)",
+            format!("{browser} Mean"),
+            geomean(&e_v),
+            geomean(&l_v)
+        );
+    }
+    println!("\npaper reference: SPEC A2 +64.71% → LowFat +127.27%;");
+    println!("                 Chrome +113% → +170%; FireFox +46% → +60%");
+}

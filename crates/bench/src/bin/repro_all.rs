@@ -1,0 +1,73 @@
+//! One-command reproduction: run every experiment (E1–E12) in sequence
+//! and write the outputs under `results/`.
+//!
+//! Usage: `cargo run --release -p e9bench --bin repro_all [--quick]`
+//!
+//! Equivalent to invoking each experiment binary by hand; see DESIGN.md §3
+//! for the experiment index and EXPERIMENTS.md for the recorded
+//! paper-vs-measured discussion.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "fig4",
+    "fig5",
+    "ablation_grouping",
+    "ablation_tactics",
+    "b0_cost",
+    "granularity",
+    "frontends",
+    "cost_model",
+    "alloc_policy",
+    "scalability",
+];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    std::fs::create_dir_all("results").expect("create results/");
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .expect("locate sibling experiment binaries");
+
+    let mut failures = 0;
+    for name in EXPERIMENTS {
+        let path = exe_dir.join(name);
+        if !path.exists() {
+            eprintln!("skipping {name}: binary not built (run with --release -p e9bench)");
+            failures += 1;
+            continue;
+        }
+        print!("running {name:<20} ");
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+        let t0 = std::time::Instant::now();
+        let mut cmd = Command::new(&path);
+        if quick {
+            cmd.arg("--quick");
+        }
+        match cmd.output() {
+            Ok(out) if out.status.success() => {
+                let dest = format!("results/{name}.txt");
+                std::fs::write(&dest, &out.stdout).expect("write result");
+                println!("ok ({:.1}s) → {dest}", t0.elapsed().as_secs_f64());
+            }
+            Ok(out) => {
+                println!("FAILED (exit {:?})", out.status.code());
+                eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+                failures += 1;
+            }
+            Err(e) => {
+                println!("FAILED to launch: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        println!("\nall experiments regenerated; see EXPERIMENTS.md for interpretation");
+    } else {
+        println!("\n{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,376 @@
+//! Trampoline templates and instantiation (§2, §5).
+//!
+//! Every successful patch diverts control flow to a trampoline that
+//!
+//! 1. performs the instrumentation payload (nothing, a counter bump, or a
+//!    call into a runtime check function),
+//! 2. executes (a relocated copy of) the displaced instruction, and
+//! 3. jumps back to the instruction after the patch site.
+//!
+//! Evicted instructions (tactics T2/T3) get an *evictee trampoline*, which
+//! is simply the [`Template::Empty`] form: displaced instruction + jump
+//! back.
+//!
+//! Payloads are transparent: caller-visible registers and RFLAGS are
+//! saved/restored, and the stack pointer is first dropped past the 128-byte
+//! System-V red zone so in-flight leaf-function data is not clobbered.
+
+use e9x86::asm::{Asm, Mem};
+use e9x86::insn::{Insn, Kind};
+use e9x86::reg::Reg;
+use e9x86::reloc::{self, RelocError};
+use std::fmt;
+
+/// What a trampoline does before resuming the displaced instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Template {
+    /// No payload: execute the displaced instruction and return. The
+    /// paper's "empty instrumentation" baseline (§6.1).
+    Empty,
+    /// Increment a 64-bit counter in memory (flag- and register-
+    /// transparent). A realistic analogue of basic-block counting.
+    Counter {
+        /// Absolute address of the counter cell.
+        counter_addr: u64,
+    },
+    /// Pass the effective address of the displaced instruction's memory
+    /// operand to a check function (`fn(ptr in %rdi)`), then execute the
+    /// displaced instruction — the heap-write hardening application (§6.3).
+    CheckCall {
+        /// Absolute address of the check function.
+        func_addr: u64,
+    },
+    /// Call an instrumentation hook (`fn(site_addr in %rdi)`) before the
+    /// displaced instruction — the general event-hook form used by
+    /// tracing/fuzzing-style applications built on E9Patch.
+    HookCall {
+        /// Absolute address of the hook function.
+        func_addr: u64,
+    },
+    /// Execute `code` *instead of* the displaced instruction, then jump to
+    /// `resume` (defaulting to the next instruction) — binary patching
+    /// (Example 3.1 / Figure 2).
+    Replace {
+        /// Raw replacement machine code (position-independent or assembled
+        /// for its final address by the caller).
+        code: Vec<u8>,
+        /// Where to continue execution; `None` = after the patched
+        /// instruction.
+        resume: Option<u64>,
+    },
+}
+
+/// Trampoline instantiation failure. `OutOfReach` is retryable with a
+/// different trampoline address; the others are properties of the patch
+/// site itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// A rel32 (displaced branch or resume jump) cannot span from the
+    /// trampoline to the original code.
+    OutOfReach,
+    /// The displaced instruction cannot be relocated (`loop`/`jrcxz`).
+    Unrelocatable,
+    /// `CheckCall` requires a ModRM memory operand to take the address of.
+    NoMemOperand,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::OutOfReach => write!(f, "trampoline out of rel32 reach of original code"),
+            BuildError::Unrelocatable => write!(f, "displaced instruction cannot be relocated"),
+            BuildError::NoMemOperand => {
+                write!(f, "check-call template requires a memory operand")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+const RED_ZONE: i32 = 128;
+
+/// Conservative upper bound on the built trampoline size in bytes, used to
+/// reserve address space before the final address is known.
+pub fn max_size(template: &Template, insn: &Insn) -> usize {
+    let displaced = reloc::relocated_size_upper_bound(insn);
+    let resume = 5;
+    match template {
+        Template::Empty => displaced + resume,
+        // lea(5) + push(1) + pushfq(1) + movabs(10) + inc(3) + popfq(1)
+        // + pop(1) + lea-restore(8, disp32 form for +128).
+        Template::Counter { .. } => 32 + displaced + resume,
+        // lea(5) + 2×push(2) + pushfq(1) + lea-mem(≤9) + movabs(10)
+        // + call *rax(2) + popfq(1) + 2×pop(2) + lea-restore(8).
+        Template::CheckCall { .. } => 44 + displaced + resume,
+        // As CheckCall, with a movabs(10) site-address load instead of the
+        // lea.
+        Template::HookCall { .. } => 45 + displaced + resume,
+        Template::Replace { code, .. } => code.len() + resume,
+    }
+}
+
+/// Does the displaced instruction unconditionally leave the trampoline
+/// (making the resume jump dead)?
+fn diverts(kind: Kind) -> bool {
+    matches!(kind, Kind::Ret | Kind::JmpRel8 | Kind::JmpRel32 | Kind::JmpInd)
+}
+
+/// Instantiate `template` for patched instruction `insn` at trampoline
+/// address `tramp_addr`.
+///
+/// # Errors
+///
+/// [`BuildError::OutOfReach`] when the chosen address cannot reach the
+/// original code with rel32 displacements (the caller retries elsewhere);
+/// [`BuildError::Unrelocatable`] / [`BuildError::NoMemOperand`] when the
+/// patch site is fundamentally unsuited to the template.
+pub fn build(template: &Template, insn: &Insn, tramp_addr: u64) -> Result<Vec<u8>, BuildError> {
+    let mut a = Asm::new(tramp_addr);
+
+    match template {
+        Template::Empty => {}
+        Template::Counter { counter_addr } => {
+            a.lea(Reg::Rsp, Mem::base_disp(Reg::Rsp, -RED_ZONE));
+            a.push_r(Reg::Rax);
+            a.pushfq();
+            a.mov_ri64(Reg::Rax, *counter_addr as i64);
+            a.inc_m(e9x86::reg::Width::Q, Mem::base(Reg::Rax));
+            a.popfq();
+            a.pop_r(Reg::Rax);
+            a.lea(Reg::Rsp, Mem::base_disp(Reg::Rsp, RED_ZONE));
+        }
+        Template::CheckCall { func_addr } => {
+            let m = insn
+                .modrm
+                .and_then(|m| m.mem)
+                .ok_or(BuildError::NoMemOperand)?;
+            if m.rip_relative || m.base == Some(Reg::Rsp) {
+                // A2 excludes these; an rsp base would also be invalidated
+                // by the saves below.
+                return Err(BuildError::NoMemOperand);
+            }
+            a.lea(Reg::Rsp, Mem::base_disp(Reg::Rsp, -RED_ZONE));
+            a.push_r(Reg::Rdi);
+            a.push_r(Reg::Rax);
+            a.pushfq();
+            a.lea(
+                Reg::Rdi,
+                Mem {
+                    base: m.base,
+                    index: m.index,
+                    disp: m.disp,
+                    rip_label: None,
+                },
+            );
+            a.mov_ri64(Reg::Rax, *func_addr as i64);
+            a.call_ind_r(Reg::Rax);
+            a.popfq();
+            a.pop_r(Reg::Rax);
+            a.pop_r(Reg::Rdi);
+            a.lea(Reg::Rsp, Mem::base_disp(Reg::Rsp, RED_ZONE));
+        }
+        Template::HookCall { func_addr } => {
+            a.lea(Reg::Rsp, Mem::base_disp(Reg::Rsp, -RED_ZONE));
+            a.push_r(Reg::Rdi);
+            a.push_r(Reg::Rax);
+            a.pushfq();
+            a.mov_ri64(Reg::Rdi, insn.addr as i64);
+            a.mov_ri64(Reg::Rax, *func_addr as i64);
+            a.call_ind_r(Reg::Rax);
+            a.popfq();
+            a.pop_r(Reg::Rax);
+            a.pop_r(Reg::Rdi);
+            a.lea(Reg::Rsp, Mem::base_disp(Reg::Rsp, RED_ZONE));
+        }
+        Template::Replace { code, resume } => {
+            a.raw(code);
+            let resume = resume.unwrap_or_else(|| insn.end());
+            a.jmp_abs(resume).map_err(|_| BuildError::OutOfReach)?;
+            return a.finish().map_err(|_| BuildError::OutOfReach);
+        }
+    }
+
+    // Displaced original instruction, relocated for its new home.
+    let displaced = reloc::relocate(insn, a.here()).map_err(|e| match e {
+        RelocError::UnsupportedLoop => BuildError::Unrelocatable,
+        RelocError::DispOutOfRange { .. } => BuildError::OutOfReach,
+    })?;
+    a.raw(&displaced);
+
+    if !diverts(insn.kind) {
+        a.jmp_abs(insn.end()).map_err(|_| BuildError::OutOfReach)?;
+    }
+    a.finish().map_err(|_| BuildError::OutOfReach)
+}
+
+/// Build an evictee trampoline for victim `insn` (T2/T3): execute the
+/// displaced victim, then jump back to the instruction after it.
+pub fn build_evictee(insn: &Insn, tramp_addr: u64) -> Result<Vec<u8>, BuildError> {
+    build(&Template::Empty, insn, tramp_addr)
+}
+
+/// Upper bound for an evictee trampoline.
+pub fn evictee_max_size(insn: &Insn) -> usize {
+    max_size(&Template::Empty, insn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e9x86::decode::decode;
+
+    fn mov_insn() -> Insn {
+        decode(&[0x48, 0x89, 0x03], 0x401000).unwrap() // mov %rax,(%rbx)
+    }
+
+    #[test]
+    fn empty_template_shape() {
+        let insn = mov_insn();
+        let t = build(&Template::Empty, &insn, 0x70000000).unwrap();
+        // displaced mov (3 bytes) + jmp back (5 bytes).
+        assert_eq!(t.len(), 8);
+        assert_eq!(&t[..3], insn.bytes());
+        let back = decode(&t[3..], 0x70000003).unwrap();
+        assert_eq!(back.branch_target(), Some(0x401003));
+        assert!(t.len() <= max_size(&Template::Empty, &insn));
+    }
+
+    #[test]
+    fn displaced_jcc_keeps_both_edges() {
+        // je +0x27 at 0x422ad5 (Figure 2) — in the trampoline the taken
+        // edge must still reach 0x422afe and the fallthrough must resume at
+        // 0x422ad7.
+        let insn = decode(&[0x74, 0x27], 0x422ad5).unwrap();
+        let addr = 0x42f00000;
+        let t = build(&Template::Empty, &insn, addr).unwrap();
+        let jcc = decode(&t, addr).unwrap();
+        assert_eq!(jcc.branch_target(), Some(0x422afe));
+        let resume = decode(&t[jcc.len()..], addr + jcc.len() as u64).unwrap();
+        assert_eq!(resume.branch_target(), Some(0x422ad7));
+    }
+
+    #[test]
+    fn displaced_unconditional_jmp_has_no_resume() {
+        let insn = decode(&[0xEB, 0x10], 0x401000).unwrap();
+        let t = build(&Template::Empty, &insn, 0x70000000).unwrap();
+        assert_eq!(t.len(), 5); // just the widened jmp
+        let j = decode(&t, 0x70000000).unwrap();
+        assert_eq!(j.branch_target(), Some(0x401012));
+    }
+
+    #[test]
+    fn displaced_ret_has_no_resume() {
+        let insn = decode(&[0xC3], 0x401000).unwrap();
+        let t = build(&Template::Empty, &insn, 0x70000000).unwrap();
+        assert_eq!(t, vec![0xC3]);
+    }
+
+    #[test]
+    fn counter_template_is_flag_transparent() {
+        let insn = mov_insn();
+        let t = build(
+            &Template::Counter {
+                counter_addr: 0x60000000,
+            },
+            &insn,
+            0x70000000,
+        )
+        .unwrap();
+        assert!(t.len() <= max_size(&Template::Counter { counter_addr: 0 }, &insn));
+        // pushfq must appear before the inc and popfq after.
+        let pushf = t.iter().position(|&b| b == 0x9C).unwrap();
+        let popf = t.iter().position(|&b| b == 0x9D).unwrap();
+        assert!(pushf < popf);
+        // Ends with the displaced insn + jmp back.
+        assert_eq!(&t[t.len() - 8..t.len() - 5], insn.bytes());
+    }
+
+    #[test]
+    fn check_call_loads_effective_address() {
+        // mov %rax,0x10(%rbx,%rcx,4) — the lea must reproduce the operand.
+        let insn = decode(&[0x48, 0x89, 0x44, 0x8B, 0x10], 0x401000).unwrap();
+        let t = build(&Template::CheckCall { func_addr: 0x50000000 }, &insn, 0x70000000).unwrap();
+        assert!(t.len() <= max_size(&Template::CheckCall { func_addr: 0 }, &insn));
+        // Somewhere inside: lea 0x10(%rbx,%rcx,4),%rdi = 48 8d 7c 8b 10.
+        let needle = [0x48, 0x8D, 0x7C, 0x8B, 0x10];
+        assert!(
+            t.windows(needle.len()).any(|w| w == needle),
+            "lea of the operand missing: {t:02x?}"
+        );
+    }
+
+    #[test]
+    fn check_call_rejects_register_and_rip_forms() {
+        let reg_only = decode(&[0x48, 0x01, 0xC3], 0x401000).unwrap(); // add %rax,%rbx
+        assert_eq!(
+            build(&Template::CheckCall { func_addr: 0 }, &reg_only, 0x70000000),
+            Err(BuildError::NoMemOperand)
+        );
+        let ripw = decode(&[0x48, 0x89, 0x05, 0, 0, 0x20, 0], 0x401000).unwrap();
+        assert_eq!(
+            build(&Template::CheckCall { func_addr: 0 }, &ripw, 0x70000000),
+            Err(BuildError::NoMemOperand)
+        );
+    }
+
+    #[test]
+    fn hook_call_passes_site_address() {
+        let insn = mov_insn();
+        let t = build(&Template::HookCall { func_addr: 0x50000000 }, &insn, 0x70000000).unwrap();
+        assert!(t.len() <= max_size(&Template::HookCall { func_addr: 0 }, &insn));
+        // movabs $0x401000,%rdi = 48 bf 00 10 40 00 00 00 00 00.
+        let needle = [0x48, 0xBF, 0x00, 0x10, 0x40, 0x00, 0x00, 0x00, 0x00, 0x00];
+        assert!(
+            t.windows(needle.len()).any(|w| w == needle),
+            "site address load missing: {t:02x?}"
+        );
+        // Register-only patch sites are fine for hooks (unlike CheckCall).
+        let reg_only = e9x86::decode(&[0x48, 0x01, 0xC3], 0x401000).unwrap();
+        assert!(build(&Template::HookCall { func_addr: 0x50000000 }, &reg_only, 0x70000000).is_ok());
+    }
+
+    #[test]
+    fn replace_template_resumes_elsewhere() {
+        let insn = mov_insn();
+        let t = build(
+            &Template::Replace {
+                code: vec![0x90, 0x90],
+                resume: Some(0x401100),
+            },
+            &insn,
+            0x70000000,
+        )
+        .unwrap();
+        assert_eq!(&t[..2], &[0x90, 0x90]);
+        let j = decode(&t[2..], 0x70000002).unwrap();
+        assert_eq!(j.branch_target(), Some(0x401100));
+    }
+
+    #[test]
+    fn out_of_reach_detected() {
+        let insn = mov_insn();
+        assert_eq!(
+            build(&Template::Empty, &insn, 0x7FFF_0000_0000),
+            Err(BuildError::OutOfReach)
+        );
+    }
+
+    #[test]
+    fn loop_unpatchable() {
+        let insn = decode(&[0xE2, 0xFE], 0x401000).unwrap();
+        assert_eq!(
+            build(&Template::Empty, &insn, 0x70000000),
+            Err(BuildError::Unrelocatable)
+        );
+    }
+
+    #[test]
+    fn evictee_equals_empty() {
+        let insn = mov_insn();
+        assert_eq!(
+            build_evictee(&insn, 0x70000000).unwrap(),
+            build(&Template::Empty, &insn, 0x70000000).unwrap()
+        );
+    }
+}

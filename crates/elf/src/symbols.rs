@@ -1,0 +1,141 @@
+//! ELF symbol tables (`.symtab` / `.strtab`).
+//!
+//! E9Patch works on *stripped* binaries, but when symbols exist a frontend
+//! can exploit them (better disassembly roots, human-readable reports).
+//! The builder can emit function symbols; the parser recovers them.
+
+use crate::image::Elf;
+use crate::types::SHT_PROGBITS;
+
+/// `st_info` for a global function symbol (`STB_GLOBAL << 4 | STT_FUNC`).
+pub const GLOBAL_FUNC: u8 = 0x12;
+
+/// Size of one ELF64 symbol record.
+pub const SYM_SIZE: usize = 24;
+
+/// A (simplified) function symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Value (function address).
+    pub value: u64,
+    /// Size in bytes (0 if unknown).
+    pub size: u64,
+}
+
+/// Serialize symbols into (`.symtab` bytes, `.strtab` bytes).
+pub fn encode(symbols: &[Symbol]) -> (Vec<u8>, Vec<u8>) {
+    let mut strtab = vec![0u8];
+    let mut symtab = vec![0u8; SYM_SIZE]; // index 0: undefined symbol
+    for s in symbols {
+        let name_off = strtab.len() as u32;
+        strtab.extend_from_slice(s.name.as_bytes());
+        strtab.push(0);
+        let mut rec = [0u8; SYM_SIZE];
+        rec[0..4].copy_from_slice(&name_off.to_le_bytes());
+        rec[4] = GLOBAL_FUNC;
+        // st_shndx: leave 0 (our consumers key off value, not section).
+        rec[8..16].copy_from_slice(&s.value.to_le_bytes());
+        rec[16..24].copy_from_slice(&s.size.to_le_bytes());
+        symtab.extend_from_slice(&rec);
+    }
+    (symtab, strtab)
+}
+
+/// Parse function symbols out of a binary's `.symtab`/`.strtab` sections.
+/// Returns an empty vec for stripped binaries.
+pub fn parse(elf: &Elf) -> Vec<Symbol> {
+    let (Some(symtab), Some(strtab)) =
+        (elf.section_bytes(".symtab"), elf.section_bytes(".strtab"))
+    else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for rec in symtab.chunks_exact(SYM_SIZE).skip(1) {
+        let name_off = u32::from_le_bytes(rec[0..4].try_into().unwrap()) as usize;
+        let info = rec[4];
+        if info & 0xF != 2 {
+            continue; // not STT_FUNC
+        }
+        let value = u64::from_le_bytes(rec[8..16].try_into().unwrap());
+        let size = u64::from_le_bytes(rec[16..24].try_into().unwrap());
+        let name = strtab
+            .get(name_off..)
+            .and_then(|s| s.split(|&b| b == 0).next())
+            .map(|s| String::from_utf8_lossy(s).into_owned())
+            .unwrap_or_default();
+        out.push(Symbol { name, value, size });
+    }
+    out.sort_by_key(|s| s.value);
+    out
+}
+
+/// The section type used when emitting via [`crate::build::ElfBuilder`]
+/// notes (we reuse the non-alloc note channel, typed as PROGBITS like a
+/// real `.symtab`'s payload for our simplified consumers).
+pub const SECTION_TYPE: u32 = SHT_PROGBITS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ElfBuilder;
+
+    #[test]
+    fn roundtrip_through_binary() {
+        let syms = vec![
+            Symbol {
+                name: "main".into(),
+                value: 0x401000,
+                size: 0x40,
+            },
+            Symbol {
+                name: "helper".into(),
+                value: 0x401040,
+                size: 0x20,
+            },
+        ];
+        let (symtab, strtab) = encode(&syms);
+        let mut b = ElfBuilder::exec(0x400000);
+        b.text(vec![0xC3], 0x401000);
+        b.entry(0x401000);
+        b.note(".symtab", symtab);
+        b.note(".strtab", strtab);
+        let elf = Elf::parse(&b.build()).unwrap();
+        assert_eq!(parse(&elf), syms);
+    }
+
+    #[test]
+    fn stripped_binary_has_no_symbols() {
+        let mut b = ElfBuilder::exec(0x400000);
+        b.text(vec![0xC3], 0x401000);
+        b.entry(0x401000);
+        let elf = Elf::parse(&b.build()).unwrap();
+        assert!(parse(&elf).is_empty());
+    }
+
+    #[test]
+    fn symbols_sorted_by_address() {
+        let syms = vec![
+            Symbol {
+                name: "z".into(),
+                value: 0x402000,
+                size: 0,
+            },
+            Symbol {
+                name: "a".into(),
+                value: 0x401000,
+                size: 0,
+            },
+        ];
+        let (symtab, strtab) = encode(&syms);
+        let mut b = ElfBuilder::exec(0x400000);
+        b.text(vec![0xC3], 0x401000);
+        b.entry(0x401000);
+        b.note(".symtab", symtab);
+        b.note(".strtab", strtab);
+        let parsed = parse(&Elf::parse(&b.build()).unwrap());
+        assert_eq!(parsed[0].name, "a");
+        assert_eq!(parsed[1].name, "z");
+    }
+}

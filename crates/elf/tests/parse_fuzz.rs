@@ -1,0 +1,55 @@
+//! Robustness: the ELF parser must never panic on arbitrary or corrupted
+//! input — a static rewriter's first exposure to untrusted data.
+
+use e9elf::build::ElfBuilder;
+use e9elf::Elf;
+use proptest::prelude::*;
+
+fn valid_binary() -> Vec<u8> {
+    let mut b = ElfBuilder::exec(0x400000);
+    b.text(vec![0x90; 64], 0x401000);
+    b.rodata(vec![1, 2, 3], 0x402000);
+    b.data(vec![9; 16], 0x403000);
+    b.bss(0x1000, 0x404000);
+    b.entry(0x401000);
+    b.build()
+}
+
+proptest! {
+    /// Arbitrary bytes: parse returns an error or a structurally sane Elf.
+    #[test]
+    fn parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(elf) = Elf::parse(&bytes) {
+            // Accessors must stay total too.
+            let _ = elf.entry();
+            let _ = elf.vaddr_extent();
+            let _ = elf.section(".text");
+            let _ = elf.slice_at(0x401000, 8);
+        }
+    }
+
+    /// Single-byte corruptions of a valid binary: never panic; if the
+    /// image still parses, accessors stay in bounds.
+    #[test]
+    fn corrupted_binary_never_panics(pos_frac in 0.0f64..1.0, val in any::<u8>()) {
+        let mut bytes = valid_binary();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] = val;
+        if let Ok(elf) = Elf::parse(&bytes) {
+            for s in &elf.sections {
+                let _ = elf.section_bytes(&s.name);
+            }
+            for p in elf.load_segments() {
+                let _ = elf.slice_at(p.p_vaddr, 1);
+            }
+        }
+    }
+
+    /// Truncations of a valid binary never panic.
+    #[test]
+    fn truncated_binary_never_panics(keep_frac in 0.0f64..1.0) {
+        let bytes = valid_binary();
+        let keep = ((bytes.len() as f64) * keep_frac) as usize;
+        let _ = Elf::parse(&bytes[..keep]);
+    }
+}

@@ -1,0 +1,319 @@
+//! `e9tool` — file-based command-line driver for the E9Patch
+//! reproduction, mirroring the companion tool of the original project.
+//!
+//! ```console
+//! $ e9tool gen --tiny demo -o demo.elf          # make a workload binary
+//! $ e9tool info demo.elf                        # inspect it
+//! $ e9tool disasm demo.elf | head               # linear-sweep listing
+//! $ e9tool patch demo.elf -o demo.e9 --app a1   # rewrite all jumps
+//! $ e9tool run demo.elf && e9tool run demo.e9   # identical behaviour
+//! ```
+
+use e9front::{instrument, Application, Options, Payload};
+use e9patch::{RewriteConfig, Tactics};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "e9tool — static binary rewriting without control flow recovery
+
+USAGE:
+  e9tool gen  (--tiny NAME | --profile NAME) [--pie] [--scale N] -o OUT
+  e9tool info BINARY
+  e9tool disasm BINARY [--limit N]
+  e9tool patch BINARY -o OUT [--app a1|a2|a3|all] [--payload empty|counter|counters|lowfat|trace]
+              [--no-t1] [--no-t2] [--no-t3] [--b0] [--granularity M] [--no-grouping]
+              [--report] [--verify]
+  e9tool run  BINARY [--lowfat] [--max-steps N] [--hex-output]
+
+`gen --profile` accepts any Table 1 row name (perlbench, gcc, chrome, ...)."
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = std::collections::HashMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let takes_value = matches!(
+                    name,
+                    "tiny" | "profile" | "scale" | "app" | "payload" | "granularity"
+                        | "max-steps" | "limit"
+                );
+                if takes_value && i + 1 < argv.len() {
+                    flags.insert(name.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.insert(name.to_string(), String::new());
+                    i += 1;
+                }
+            } else if a == "-o" && i + 1 < argv.len() {
+                flags.insert("out".into(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let out = args.value("out").ok_or("gen requires -o OUT")?;
+    let profile = if let Some(name) = args.value("tiny") {
+        e9synth::Profile::tiny(name, args.flag("pie"))
+    } else if let Some(name) = args.value("profile") {
+        let scale: u64 = args
+            .value("scale")
+            .map(|s| s.parse().map_err(|_| "bad --scale"))
+            .transpose()?
+            .unwrap_or(e9synth::DEFAULT_SCALE);
+        e9synth::all_profiles(scale)
+            .into_iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| format!("unknown profile {name}; try perlbench, gcc, chrome ..."))?
+    } else {
+        return Err("gen requires --tiny NAME or --profile NAME".into());
+    };
+    let sb = e9synth::generate(&profile);
+    std::fs::write(out, &sb.binary).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} bytes, entry {:#x}, {} instructions",
+        sb.binary.len(),
+        sb.entry,
+        sb.disasm.len()
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("info requires BINARY")?;
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    let elf = e9elf::Elf::parse(&bytes).map_err(|e| e.to_string())?;
+    println!("{path}: {} bytes", bytes.len());
+    println!(
+        "  type:  {}",
+        if elf.is_pie() { "ET_DYN (PIE/shared object)" } else { "ET_EXEC" }
+    );
+    println!("  entry: {:#x}", elf.entry());
+    println!("  segments:");
+    for p in &elf.phdrs {
+        let kind = match p.p_type {
+            e9elf::types::PT_LOAD => "LOAD",
+            e9elf::types::PT_NOTE => "NOTE",
+            _ => "OTHER",
+        };
+        println!(
+            "    {kind:<6} vaddr {:#012x} filesz {:#8x} memsz {:#8x} flags {}{}{}",
+            p.p_vaddr,
+            p.p_filesz,
+            p.p_memsz,
+            if p.p_flags & e9elf::types::PF_R != 0 { "r" } else { "-" },
+            if p.p_flags & e9elf::types::PF_W != 0 { "w" } else { "-" },
+            if p.p_flags & e9elf::types::PF_X != 0 { "x" } else { "-" },
+        );
+    }
+    if !elf.sections.is_empty() {
+        println!("  sections:");
+        for s in elf.sections.iter().filter(|s| !s.name.is_empty()) {
+            println!("    {:<16} addr {:#012x} size {:#x}", s.name, s.sh_addr, s.sh_size);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_disasm(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("disasm requires BINARY")?;
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    let disasm = e9front::disassemble_text(&bytes).map_err(|e| e.to_string())?;
+    let limit: usize = args
+        .value("limit")
+        .map(|s| s.parse().map_err(|_| "bad --limit"))
+        .transpose()?
+        .unwrap_or(usize::MAX);
+    // Annotate function starts with their symbols when present.
+    let elf = e9elf::Elf::parse(&bytes).map_err(|e| e.to_string())?;
+    let symbols = e9elf::symbols::parse(&elf);
+    let by_addr: std::collections::HashMap<u64, &str> =
+        symbols.iter().map(|s| (s.value, s.name.as_str())).collect();
+    for i in disasm.iter().take(limit) {
+        if let Some(name) = by_addr.get(&i.addr) {
+            println!("\n{:012x} <{}>:", i.addr, name);
+        }
+        println!("{}", e9x86::fmt::format_listing_line(i));
+    }
+    let a1 = disasm.iter().filter(|i| i.kind.is_jump()).count();
+    let a2 = disasm.iter().filter(|i| i.is_heap_write()).count();
+    eprintln!(
+        "{} instructions ({a1} jump sites, {a2} heap-write sites)",
+        disasm.len()
+    );
+    Ok(())
+}
+
+fn cmd_patch(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("patch requires BINARY")?;
+    let out_path = args.value("out").ok_or("patch requires -o OUT")?;
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+
+    let app = match args.value("app").unwrap_or("a1") {
+        "a1" => Application::A1Jumps,
+        "a2" => Application::A2HeapWrites,
+        "a3" => Application::A3Calls,
+        "all" => Application::AllInstructions,
+        other => return Err(format!("unknown --app {other}")),
+    };
+    let payload = match args.value("payload").unwrap_or("empty") {
+        "empty" => Payload::Empty,
+        "counter" => Payload::Counter,
+        "counters" => Payload::CounterPerSite,
+        "lowfat" => Payload::LowFat,
+        "trace" => Payload::Trace,
+        other => return Err(format!("unknown --payload {other}")),
+    };
+    let config = RewriteConfig {
+        tactics: Tactics {
+            t1: !args.flag("no-t1"),
+            t2: !args.flag("no-t2"),
+            t3: !args.flag("no-t3"),
+        },
+        b0_fallback: args.flag("b0"),
+        grouping: !args.flag("no-grouping"),
+        granularity: args
+            .value("granularity")
+            .map(|s| s.parse().map_err(|_| "bad --granularity"))
+            .transpose()?
+            .unwrap_or(1),
+        ..RewriteConfig::default()
+    };
+
+    let res = instrument(&bytes, &Options { app, payload, config }).map_err(|e| e.to_string())?;
+    std::fs::write(out_path, &res.rewrite.binary).map_err(|e| e.to_string())?;
+    if args.flag("verify") {
+        let orig = e9elf::Elf::parse(&bytes).map_err(|e| e.to_string())?;
+        let patched = e9elf::Elf::parse(&res.rewrite.binary).map_err(|e| e.to_string())?;
+        let disasm = e9front::disassemble_text(&bytes).map_err(|e| e.to_string())?;
+        match e9patch::verify::verify(
+            &orig,
+            &patched,
+            &disasm,
+            &res.rewrite.mappings,
+            &res.rewrite.reports,
+        ) {
+            Ok(rep) => println!(
+                "verify: OK — {} preserved, {} diverted instruction starts",
+                rep.preserved, rep.diverted
+            ),
+            Err(violations) => {
+                for v in &violations {
+                    eprintln!("verify: {v}");
+                }
+                return Err(format!("{} verification violations", violations.len()));
+            }
+        }
+    }
+    if args.flag("report") {
+        println!("site report (processing order, highest address first):");
+        for r in &res.rewrite.reports {
+            match (r.tactic, r.trampoline) {
+                (Some(t), Some(tr)) => {
+                    println!("  {:#012x} len {:>2} → {:<3} trampoline {:#x}", r.addr, r.insn_len, t.to_string(), tr)
+                }
+                (Some(t), None) => {
+                    println!("  {:#012x} len {:>2} → {}", r.addr, r.insn_len, t)
+                }
+                _ => println!("  {:#012x} len {:>2} → FAILED", r.addr, r.insn_len),
+            }
+        }
+    }
+    let s = res.rewrite.stats;
+    println!(
+        "patched {}/{} sites (B1 {} | B2 {} | T1 {} | T2 {} | T3 {} | B0 {} | failed {})",
+        s.succeeded() + s.b0,
+        s.total(),
+        s.b1,
+        s.b2,
+        s.t1,
+        s.t2,
+        s.t3,
+        s.b0,
+        s.failed
+    );
+    println!(
+        "output {}: {} bytes ({:.1}% of input), {} mappings, granularity M={}",
+        out_path,
+        res.rewrite.binary.len(),
+        res.rewrite.size.size_pct(),
+        res.rewrite.size.mappings,
+        res.rewrite.size.granularity
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("run requires BINARY")?;
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    let max_steps: u64 = args
+        .value("max-steps")
+        .map(|s| s.parse().map_err(|_| "bad --max-steps"))
+        .transpose()?
+        .unwrap_or(2_000_000_000);
+    let mut vm = e9vm::Vm::new();
+    if args.flag("lowfat") {
+        vm.set_heap(Box::new(e9lowfat::LowFatAllocator::new()));
+    }
+    e9vm::load_elf(&mut vm, &bytes).map_err(|e| e.to_string())?;
+    let r = vm.run(max_steps).map_err(|e| e.to_string())?;
+    if args.flag("hex-output") {
+        println!("output: {:02x?}", r.output);
+    } else if !r.output.is_empty() {
+        use std::io::Write;
+        std::io::stdout().write_all(&r.output).ok();
+    }
+    eprintln!(
+        "exit {} | {} instructions retired | cost {}",
+        r.exit_code, r.insns, r.steps
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().map(|s| s.as_str()) else {
+        return usage();
+    };
+    let args = Args::parse(&argv[1..]);
+    let result = match cmd {
+        "gen" => cmd_gen(&args),
+        "info" => cmd_info(&args),
+        "disasm" => cmd_disasm(&args),
+        "patch" => cmd_patch(&args),
+        "run" => cmd_run(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("e9tool {cmd}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

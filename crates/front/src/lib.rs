@@ -1,0 +1,558 @@
+//! # e9front — disassembly frontend and instrumentation driver
+//!
+//! E9Patch deliberately has **no built-in disassembler**: instruction
+//! locations and sizes are an *input* (paper §2.2), so the rewriter can be
+//! paired with any disassembly technique. This crate is the reproduction's
+//! counterpart of the paper's "basic wrapper frontend that applies linear
+//! disassembly to the `.text` section", plus the two evaluation
+//! applications:
+//!
+//! * **A1** — instrument every `jmp`/`jcc` instruction;
+//! * **A2** — instrument every instruction that may write to heap
+//!   pointers (excluding `%rsp`-based and `%rip`-relative writes);
+//!
+//! and the §6.3 hardening payload (low-fat redzone checking).
+//!
+//! ```no_run
+//! use e9front::{instrument, Application, Payload, Options};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let binary: Vec<u8> = vec![];
+//! let out = instrument(&binary, &Options::new(Application::A1Jumps, Payload::Empty))?;
+//! println!("coverage: {:.2}%", out.rewrite.stats.succ_pct());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod recursive;
+pub mod trace;
+
+use e9elf::Elf;
+use e9patch::{ExtraSegment, PatchRequest, RewriteConfig, RewriteOutput, Rewriter, Template};
+use e9x86::decode::linear_sweep;
+use e9x86::insn::Insn;
+
+/// Which instruction class to instrument (the paper's evaluation
+/// applications).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Application {
+    /// All `jmp`/`jcc` jump instructions (§6.1 A1).
+    A1Jumps,
+    /// All heap-write instructions (§6.1 A2).
+    A2HeapWrites,
+    /// All call instructions (direct and indirect) — call-graph tracing.
+    A3Calls,
+    /// Every instruction (the stress case, limitation L3).
+    AllInstructions,
+}
+
+/// What each trampoline does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    /// Execute/emulate the displaced instruction only (the paper's "empty"
+    /// instrumentation).
+    Empty,
+    /// Increment a global execution counter.
+    Counter,
+    /// Increment a *per-site* execution counter (the classic basic-block
+    /// counting instrumentation benchmarked by PEBIL/DynInst, §6.1).
+    CounterPerSite,
+    /// Low-fat redzone check on the written pointer (§6.3; A2 only).
+    LowFat,
+    /// Record every executed site's address into a ring buffer (tracing /
+    /// coverage instrumentation; see [`trace`]).
+    Trace,
+}
+
+/// Instrumentation options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Site selector.
+    pub app: Application,
+    /// Trampoline payload.
+    pub payload: Payload,
+    /// Rewriter configuration (tactics, grouping, B0 fallback).
+    pub config: RewriteConfig,
+}
+
+impl Options {
+    /// Options with the default rewriter configuration.
+    pub fn new(app: Application, payload: Payload) -> Options {
+        Options {
+            app,
+            payload,
+            config: RewriteConfig::default(),
+        }
+    }
+}
+
+/// Result of [`instrument`].
+#[derive(Debug)]
+pub struct Instrumented {
+    /// Rewriting output (patched binary + statistics).
+    pub rewrite: RewriteOutput,
+    /// Number of patch sites selected.
+    pub sites: usize,
+    /// Address of the low-fat violation counter, when
+    /// [`Payload::LowFat`] was used.
+    pub violations_addr: Option<u64>,
+    /// Address of the execution counter, when [`Payload::Counter`] was
+    /// used.
+    pub counter_addr: Option<u64>,
+    /// Trace ring header address, when [`Payload::Trace`] was used.
+    pub trace_addr: Option<u64>,
+}
+
+/// Frontend error.
+#[derive(Debug)]
+pub enum FrontError {
+    /// Input is not a parseable ELF or has no `.text` section.
+    Input(String),
+    /// Rewriting failed.
+    Rewrite(e9patch::Error),
+}
+
+impl std::fmt::Display for FrontError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontError::Input(m) => write!(f, "bad input: {m}"),
+            FrontError::Rewrite(e) => write!(f, "rewrite failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontError {}
+
+impl From<e9patch::Error> for FrontError {
+    fn from(e: e9patch::Error) -> Self {
+        FrontError::Rewrite(e)
+    }
+}
+
+/// Linear disassembly of the binary's `.text` section — the paper's
+/// prototype frontend.
+///
+/// # Errors
+///
+/// Fails if the ELF cannot be parsed or has no `.text` section (fully
+/// stripped *section tables* are rare; a production frontend would fall
+/// back to `PT_LOAD` executable segments, which
+/// [`disassemble_exec_segments`] provides).
+pub fn disassemble_text(binary: &[u8]) -> Result<Vec<Insn>, FrontError> {
+    let elf = Elf::parse(binary).map_err(|e| FrontError::Input(e.to_string()))?;
+    let text = elf
+        .section(".text")
+        .ok_or_else(|| FrontError::Input("no .text section".into()))?;
+    let bytes = elf
+        .section_bytes(".text")
+        .ok_or_else(|| FrontError::Input(".text has no file contents".into()))?;
+    // Honour a `.note.e9code` marker — `n × (vaddr u64, len u64)` code
+    // ranges — when present: it bounds the sweep to real code, excluding
+    // data-in-text blobs and jump tables. This is the moral equivalent of
+    // the paper skipping Chrome's pre-ChromeMain data (§6.2).
+    if let Some(note) = elf.section_bytes(".note.e9code") {
+        let mut out = Vec::new();
+        let mut used_note = false;
+        for pair in note.chunks_exact(16) {
+            let nv = u64::from_le_bytes(pair[0..8].try_into().unwrap());
+            let nl = u64::from_le_bytes(pair[8..16].try_into().unwrap());
+            if nv >= text.sh_addr && nv + nl <= text.sh_addr + text.sh_size {
+                let start = (nv - text.sh_addr) as usize;
+                out.extend(linear_sweep(&bytes[start..start + nl as usize], nv));
+                used_note = true;
+            }
+        }
+        if used_note {
+            return Ok(out);
+        }
+    }
+    Ok(linear_sweep(bytes, text.sh_addr))
+}
+
+/// Fallback frontend for section-stripped binaries: linearly disassemble
+/// every executable `PT_LOAD` segment.
+///
+/// # Errors
+///
+/// Fails only on unparseable ELF input.
+pub fn disassemble_exec_segments(binary: &[u8]) -> Result<Vec<Insn>, FrontError> {
+    let elf = Elf::parse(binary).map_err(|e| FrontError::Input(e.to_string()))?;
+    let mut out = Vec::new();
+    for ph in elf.load_segments() {
+        if ph.p_flags & e9elf::types::PF_X == 0 {
+            continue;
+        }
+        if let Ok(bytes) = elf.slice_at(ph.p_vaddr, ph.p_filesz as usize) {
+            out.extend(linear_sweep(bytes, ph.p_vaddr));
+        }
+    }
+    Ok(out)
+}
+
+/// Select patch sites for an application.
+pub fn select_sites(disasm: &[Insn], app: Application) -> Vec<u64> {
+    disasm
+        .iter()
+        .filter(|i| match app {
+            Application::A1Jumps => i.kind.is_jump(),
+            Application::A2HeapWrites => i.is_heap_write(),
+            Application::A3Calls => matches!(
+                i.kind,
+                e9x86::Kind::CallRel32 | e9x86::Kind::CallInd
+            ),
+            Application::AllInstructions => true,
+        })
+        .map(|i| i.addr)
+        .collect()
+}
+
+/// Pick load addresses for the instrumentation runtime, clear of the
+/// binary's own image.
+fn runtime_vaddrs(elf: &Elf) -> (u64, u64) {
+    let (_, hi) = elf.vaddr_extent();
+    let code = e9elf::page_ceil(hi) + 0x100_0000;
+    let data = code + 0x10_0000;
+    (code, data)
+}
+
+/// Instrument `binary` according to `opts`: disassemble, select sites,
+/// build the payload runtime, and rewrite.
+///
+/// # Errors
+///
+/// Propagates frontend and rewriter errors. Per-site patch failures are
+/// *not* errors; see [`RewriteOutput::stats`].
+pub fn instrument(binary: &[u8], opts: &Options) -> Result<Instrumented, FrontError> {
+    let disasm = disassemble_text(binary)?;
+    instrument_with_disasm(binary, &disasm, opts)
+}
+
+/// [`instrument`] with caller-provided disassembly info (e.g. from
+/// `e9synth`, which knows its exact code extent).
+///
+/// # Errors
+///
+/// As [`instrument`].
+pub fn instrument_with_disasm(
+    binary: &[u8],
+    disasm: &[Insn],
+    opts: &Options,
+) -> Result<Instrumented, FrontError> {
+    let elf = Elf::parse(binary).map_err(|e| FrontError::Input(e.to_string()))?;
+    let sites = select_sites(disasm, opts.app);
+
+    let mut extra: Vec<ExtraSegment> = Vec::new();
+    let mut violations_addr = None;
+    let mut counter_addr = None;
+    let mut trace_addr = None;
+    let mut per_site: Option<Vec<Template>> = None;
+    let template = match opts.payload {
+        Payload::Empty => Template::Empty,
+        Payload::Counter => {
+            let (_, data_vaddr) = runtime_vaddrs(&elf);
+            extra.push(ExtraSegment {
+                vaddr: data_vaddr,
+                bytes: vec![0u8; 4096],
+                exec: false,
+                write: true,
+            });
+            counter_addr = Some(data_vaddr);
+            Template::Counter {
+                counter_addr: data_vaddr,
+            }
+        }
+        Payload::LowFat => {
+            let (code_vaddr, data_vaddr) = runtime_vaddrs(&elf);
+            let rt = e9lowfat::runtime::build(code_vaddr, data_vaddr);
+            violations_addr = Some(rt.violations_addr);
+            extra.push(ExtraSegment {
+                vaddr: rt.code_vaddr,
+                bytes: rt.code,
+                exec: true,
+                write: false,
+            });
+            extra.push(ExtraSegment {
+                vaddr: rt.data_vaddr,
+                bytes: rt.data,
+                exec: false,
+                write: true,
+            });
+            Template::CheckCall {
+                func_addr: rt.check_fn,
+            }
+        }
+        Payload::CounterPerSite => {
+            // One 64-bit counter per site, in site order — readable back
+            // through `counter_addr + 8*site_index`.
+            let (_, data_vaddr) = runtime_vaddrs(&elf);
+            let table_bytes = (sites.len().max(1) * 8).next_multiple_of(4096);
+            extra.push(ExtraSegment {
+                vaddr: data_vaddr,
+                bytes: vec![0u8; table_bytes],
+                exec: false,
+                write: true,
+            });
+            counter_addr = Some(data_vaddr);
+            per_site = Some(
+                (0..sites.len())
+                    .map(|k| Template::Counter {
+                        counter_addr: data_vaddr + k as u64 * 8,
+                    })
+                    .collect(),
+            );
+            Template::Empty // unused; per_site takes precedence
+        }
+        Payload::Trace => {
+            let (code_vaddr, data_vaddr) = runtime_vaddrs(&elf);
+            let rt = trace::build(code_vaddr, data_vaddr, 4096);
+            trace_addr = Some(rt.data_addr);
+            extra.push(ExtraSegment {
+                vaddr: rt.code_vaddr,
+                bytes: rt.code,
+                exec: true,
+                write: false,
+            });
+            extra.push(ExtraSegment {
+                vaddr: rt.data_vaddr,
+                bytes: rt.data,
+                exec: false,
+                write: true,
+            });
+            Template::HookCall {
+                func_addr: rt.hook_fn,
+            }
+        }
+    };
+
+    let requests: Vec<PatchRequest> = match per_site {
+        Some(templates) => sites
+            .iter()
+            .zip(templates)
+            .map(|(&addr, template)| PatchRequest { addr, template })
+            .collect(),
+        None => sites
+            .iter()
+            .map(|&addr| PatchRequest {
+                addr,
+                template: template.clone(),
+            })
+            .collect(),
+    };
+
+    let rewrite = Rewriter::new(opts.config).rewrite(binary, disasm, &requests, &extra)?;
+    Ok(Instrumented {
+        rewrite,
+        sites: sites.len(),
+        violations_addr,
+        counter_addr,
+        trace_addr,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e9synth::{generate, Profile};
+
+    fn sample() -> e9synth::SynthBinary {
+        generate(&Profile::tiny("fronttest", false))
+    }
+
+    #[test]
+    fn text_disassembly_matches_synth() {
+        // With the .note.e9code marker honoured, the .text frontend's
+        // output is exactly the generator's own disassembly info.
+        let sb = sample();
+        let d = disassemble_text(&sb.binary).unwrap();
+        assert_eq!(d, sb.disasm);
+    }
+
+    #[test]
+    fn exec_segment_fallback_covers_at_least_text() {
+        let sb = sample();
+        let a = disassemble_text(&sb.binary).unwrap();
+        let b = disassemble_exec_segments(&sb.binary).unwrap();
+        // The raw segment sweep has no marker and also decodes the
+        // jump-table tail.
+        assert!(b.len() >= a.len());
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    fn site_selectors() {
+        let sb = sample();
+        let a1 = select_sites(&sb.disasm, Application::A1Jumps);
+        let a2 = select_sites(&sb.disasm, Application::A2HeapWrites);
+        let all = select_sites(&sb.disasm, Application::AllInstructions);
+        assert!(!a1.is_empty());
+        assert!(!a2.is_empty());
+        assert_eq!(all.len(), sb.disasm.len());
+        // A1 and A2 are disjoint: jumps don't write memory.
+        assert!(a1.iter().all(|a| !a2.contains(a)));
+    }
+
+    #[test]
+    fn instrument_a1_empty_preserves_behaviour() {
+        let sb = sample();
+        let orig = e9vm::run_binary(&sb.binary, 50_000_000).unwrap();
+        let out = instrument_with_disasm(
+            &sb.binary,
+            &sb.disasm,
+            &Options::new(Application::A1Jumps, Payload::Empty),
+        )
+        .unwrap();
+        let patched = e9vm::run_binary(&out.rewrite.binary, 100_000_000).unwrap();
+        assert_eq!(patched.output, orig.output);
+        assert_eq!(patched.exit_code, orig.exit_code);
+        assert!(patched.insns > orig.insns);
+    }
+
+    #[test]
+    fn instrument_counter_counts() {
+        let sb = sample();
+        let out = instrument_with_disasm(
+            &sb.binary,
+            &sb.disasm,
+            &Options::new(Application::A1Jumps, Payload::Counter),
+        )
+        .unwrap();
+        let counter = out.counter_addr.unwrap();
+        let mut vm = e9vm::Vm::new();
+        e9vm::load_elf(&mut vm, &out.rewrite.binary).unwrap();
+        vm.run(100_000_000).unwrap();
+        assert!(vm.mem.read_le(counter, 8).unwrap() > 0);
+    }
+
+    #[test]
+    fn data_in_text_frontend_skips_blobs() {
+        // The §6.2 Chrome wrinkle: .text interleaves data blobs. The
+        // note-guided frontend must match the generator's disasm exactly
+        // and the instrumented binary must still behave.
+        let mut p = Profile::tiny("mixtext", false);
+        p.data_in_text = true;
+        p.funcs = 24;
+        let sb = generate(&p);
+        let d = disassemble_text(&sb.binary).unwrap();
+        assert_eq!(d, sb.disasm);
+        // There must actually be gaps (blobs) between ranges.
+        let has_gap = d.windows(2).any(|w| w[1].addr > w[0].end());
+        assert!(has_gap, "expected interleaved data blobs");
+        let orig = e9vm::run_binary(&sb.binary, 50_000_000).unwrap();
+        let out = instrument(
+            &sb.binary,
+            &Options::new(Application::A1Jumps, Payload::Empty),
+        )
+        .unwrap();
+        let patched = e9vm::run_binary(&out.rewrite.binary, 100_000_000).unwrap();
+        assert_eq!(patched.output, orig.output);
+    }
+
+    #[test]
+    fn instrument_trace_records_sites() {
+        let sb = sample();
+        let orig = e9vm::run_binary(&sb.binary, 50_000_000).unwrap();
+        let out = instrument_with_disasm(
+            &sb.binary,
+            &sb.disasm,
+            &Options::new(Application::A1Jumps, Payload::Trace),
+        )
+        .unwrap();
+        let hdr = out.trace_addr.unwrap();
+        let mut vm = e9vm::Vm::new();
+        e9vm::load_elf(&mut vm, &out.rewrite.binary).unwrap();
+        let patched = vm.run(200_000_000).unwrap();
+        assert_eq!(patched.output, orig.output);
+        let events = vm.mem.read_le(hdr, 8).unwrap();
+        let cap = vm.mem.read_le(hdr + 8, 8).unwrap();
+        assert!(events > 0, "trace recorded nothing");
+        // Every recorded address must be one of the patched sites.
+        let sites: std::collections::HashSet<u64> = select_sites(&sb.disasm, Application::A1Jumps)
+            .into_iter()
+            .collect();
+        for i in 0..events.min(cap) {
+            let site = vm.mem.read_le(hdr + 16 + i * 8, 8).unwrap();
+            assert!(sites.contains(&site), "bogus trace entry {site:#x}");
+        }
+    }
+
+    #[test]
+    fn instrument_per_site_counters() {
+        let sb = sample();
+        let out = instrument_with_disasm(
+            &sb.binary,
+            &sb.disasm,
+            &Options::new(Application::A1Jumps, Payload::CounterPerSite),
+        )
+        .unwrap();
+        let base = out.counter_addr.unwrap();
+        let mut vm = e9vm::Vm::new();
+        e9vm::load_elf(&mut vm, &out.rewrite.binary).unwrap();
+        let patched = vm.run(200_000_000).unwrap();
+        let orig = e9vm::run_binary(&sb.binary, 100_000_000).unwrap();
+        assert_eq!(patched.output, orig.output);
+        // Per-site counts sum to the total of executed patched jumps, and
+        // at least one site was hot.
+        let total: u64 = (0..out.sites)
+            .map(|k| vm.mem.read_le(base + k as u64 * 8, 8).unwrap())
+            .sum();
+        assert!(total > 0);
+        let max = (0..out.sites)
+            .map(|k| vm.mem.read_le(base + k as u64 * 8, 8).unwrap())
+            .max()
+            .unwrap();
+        assert!(max > 1, "expected a hot site, max={max}");
+    }
+
+    #[test]
+    fn a3_selects_calls() {
+        let sb = sample();
+        let calls = select_sites(&sb.disasm, Application::A3Calls);
+        assert!(!calls.is_empty());
+        let orig = e9vm::run_binary(&sb.binary, 100_000_000).unwrap();
+        let out = instrument_with_disasm(
+            &sb.binary,
+            &sb.disasm,
+            &Options::new(Application::A3Calls, Payload::Empty),
+        )
+        .unwrap();
+        assert_eq!(out.sites, calls.len());
+        let patched = e9vm::run_binary(&out.rewrite.binary, 200_000_000).unwrap();
+        assert_eq!(patched.output, orig.output);
+    }
+
+    #[test]
+    fn instrument_lowfat_no_false_positives() {
+        // A correct program with the low-fat heap must report zero
+        // violations.
+        let sb = sample();
+        let orig = e9vm::run_binary(&sb.binary, 50_000_000).unwrap();
+        let out = instrument_with_disasm(
+            &sb.binary,
+            &sb.disasm,
+            &Options::new(Application::A2HeapWrites, Payload::LowFat),
+        )
+        .unwrap();
+        let mut vm = e9vm::Vm::new();
+        vm.set_heap(Box::new(e9lowfat::LowFatAllocator::new()));
+        e9vm::load_elf(&mut vm, &out.rewrite.binary).unwrap();
+        let patched = vm.run(200_000_000).unwrap();
+        assert_eq!(patched.exit_code, orig.exit_code);
+        let v = vm.mem.read_le(out.violations_addr.unwrap(), 8).unwrap();
+        assert_eq!(v, 0, "false-positive redzone violations");
+    }
+
+    #[test]
+    fn full_text_frontend_instruments_real_elf() {
+        // End to end through `instrument` (which does its own .text
+        // disassembly) rather than the generator's disasm info.
+        let sb = sample();
+        let orig = e9vm::run_binary(&sb.binary, 50_000_000).unwrap();
+        let out = instrument(
+            &sb.binary,
+            &Options::new(Application::A1Jumps, Payload::Empty),
+        )
+        .unwrap();
+        let patched = e9vm::run_binary(&out.rewrite.binary, 100_000_000).unwrap();
+        assert_eq!(patched.output, orig.output);
+    }
+}

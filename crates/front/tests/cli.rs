@@ -1,0 +1,171 @@
+//! End-to-end tests of the `e9tool` command-line interface.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn e9tool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_e9tool"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("e9tool-test-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn gen_info_disasm_patch_run_pipeline() {
+    let dir = tmpdir("pipeline");
+    let elf = dir.join("demo.elf");
+    let patched = dir.join("demo.e9");
+
+    // gen
+    let out = e9tool()
+        .args(["gen", "--tiny", "cli-pipeline", "-o"])
+        .arg(&elf)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "gen failed: {:?}", out);
+    assert!(elf.exists());
+
+    // info
+    let out = e9tool().arg("info").arg(&elf).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ET_EXEC"));
+    assert!(text.contains("entry: 0x401000"));
+
+    // disasm
+    let out = e9tool()
+        .arg("disasm")
+        .arg(&elf)
+        .args(["--limit", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let listing = String::from_utf8_lossy(&out.stdout);
+    assert!(listing.contains("mov"), "listing: {listing}");
+
+    // run original
+    let out = e9tool()
+        .arg("run")
+        .arg(&elf)
+        .arg("--hex-output")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let orig_out = String::from_utf8_lossy(&out.stdout).to_string();
+
+    // patch
+    let out = e9tool()
+        .arg("patch")
+        .arg(&elf)
+        .arg("-o")
+        .arg(&patched)
+        .args(["--app", "a1", "--report"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "patch failed: {:?}", out);
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("patched"));
+    assert!(report.contains("site report"));
+    assert!(report.contains("failed 0"), "report: {report}");
+
+    // run patched — identical output.
+    let out = e9tool()
+        .arg("run")
+        .arg(&patched)
+        .arg("--hex-output")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), orig_out);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn patch_with_lowfat_payload() {
+    let dir = tmpdir("lowfat");
+    let elf = dir.join("demo.elf");
+    let patched = dir.join("demo.lf");
+    assert!(e9tool()
+        .args(["gen", "--tiny", "cli-lowfat", "-o"])
+        .arg(&elf)
+        .status()
+        .unwrap()
+        .success());
+    assert!(e9tool()
+        .arg("patch")
+        .arg(&elf)
+        .arg("-o")
+        .arg(&patched)
+        .args(["--app", "a2", "--payload", "lowfat"])
+        .status()
+        .unwrap()
+        .success());
+    // Run with the low-fat heap.
+    let out = e9tool()
+        .arg("run")
+        .arg(&patched)
+        .args(["--lowfat", "--hex-output"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_on_bad_invocations() {
+    let out = e9tool().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = e9tool().arg("bogus-subcommand").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = e9tool().args(["gen", "--tiny", "x"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1)); // missing -o
+    let out = e9tool().args(["info", "/nonexistent/file"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn profile_rows_are_generatable() {
+    let dir = tmpdir("profiles");
+    let elf = dir.join("mcf.elf");
+    let out = e9tool()
+        .args(["gen", "--profile", "mcf", "--scale", "200", "-o"])
+        .arg(&elf)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let out = e9tool()
+        .args(["gen", "--profile", "does-not-exist", "-o"])
+        .arg(dir.join("x.elf"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn patch_verify_flag() {
+    let dir = tmpdir("verify");
+    let elf = dir.join("demo.elf");
+    let patched = dir.join("demo.e9");
+    assert!(e9tool()
+        .args(["gen", "--tiny", "cli-verify", "-o"])
+        .arg(&elf)
+        .status()
+        .unwrap()
+        .success());
+    let out = e9tool()
+        .arg("patch")
+        .arg(&elf)
+        .arg("-o")
+        .arg(&patched)
+        .args(["--app", "a1", "--verify"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verify: OK"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,192 @@
+//! Register file and flags.
+
+use e9x86::reg::{Reg, Width};
+
+/// Architectural flags the emulator models (AF is not tracked; none of the
+/// generated workloads read it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Carry.
+    pub cf: bool,
+    /// Zero.
+    pub zf: bool,
+    /// Sign.
+    pub sf: bool,
+    /// Overflow.
+    pub of: bool,
+    /// Parity (of the low result byte).
+    pub pf: bool,
+}
+
+impl Flags {
+    /// Encode as an RFLAGS image (for `pushfq`).
+    pub fn to_rflags(self) -> u64 {
+        let mut v: u64 = 0x2; // reserved bit 1 is always set
+        if self.cf {
+            v |= 1 << 0;
+        }
+        if self.pf {
+            v |= 1 << 2;
+        }
+        if self.zf {
+            v |= 1 << 6;
+        }
+        if self.sf {
+            v |= 1 << 7;
+        }
+        if self.of {
+            v |= 1 << 11;
+        }
+        v
+    }
+
+    /// Decode from an RFLAGS image (for `popfq`).
+    pub fn from_rflags(v: u64) -> Flags {
+        Flags {
+            cf: v & (1 << 0) != 0,
+            pf: v & (1 << 2) != 0,
+            zf: v & (1 << 6) != 0,
+            sf: v & (1 << 7) != 0,
+            of: v & (1 << 11) != 0,
+        }
+    }
+
+    /// Set ZF/SF/PF from a result at the given width (the common tail of
+    /// every arithmetic instruction).
+    pub fn set_result(&mut self, result: u64, w: Width) {
+        let r = result & w.mask();
+        self.zf = r == 0;
+        self.sf = (r >> (w.bits() - 1)) & 1 == 1;
+        self.pf = (r as u8).count_ones().is_multiple_of(2);
+    }
+}
+
+/// The register file plus instruction pointer and flags.
+#[derive(Debug, Clone, Default)]
+pub struct Cpu {
+    regs: [u64; 16],
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Flags.
+    pub flags: Flags,
+}
+
+impl Cpu {
+    /// Zeroed CPU.
+    pub fn new() -> Cpu {
+        Cpu::default()
+    }
+
+    /// Full 64-bit register read.
+    #[inline]
+    pub fn get(&self, r: Reg) -> u64 {
+        self.regs[r.num() as usize]
+    }
+
+    /// Full 64-bit register write.
+    #[inline]
+    pub fn set(&mut self, r: Reg, v: u64) {
+        self.regs[r.num() as usize] = v;
+    }
+
+    /// Width-sensitive register read by hardware number. `rex_present`
+    /// selects between the legacy high-byte registers (ah/ch/dh/bh for
+    /// numbers 4–7 without REX) and the uniform low-byte registers.
+    pub fn get_w(&self, num: u8, w: Width, rex_present: bool) -> u64 {
+        if w == Width::B && !rex_present && (4..8).contains(&num) {
+            (self.regs[(num - 4) as usize] >> 8) & 0xFF
+        } else {
+            self.regs[num as usize] & w.mask()
+        }
+    }
+
+    /// Width-sensitive register write. 32-bit writes zero-extend (the
+    /// x86-64 rule); 8/16-bit writes merge.
+    pub fn set_w(&mut self, num: u8, w: Width, rex_present: bool, v: u64) {
+        match w {
+            Width::Q => self.regs[num as usize] = v,
+            Width::D => self.regs[num as usize] = v & 0xFFFF_FFFF,
+            Width::W => {
+                let old = self.regs[num as usize];
+                self.regs[num as usize] = (old & !0xFFFF) | (v & 0xFFFF);
+            }
+            Width::B => {
+                if !rex_present && (4..8).contains(&num) {
+                    let i = (num - 4) as usize;
+                    self.regs[i] = (self.regs[i] & !0xFF00) | ((v & 0xFF) << 8);
+                } else {
+                    let i = num as usize;
+                    self.regs[i] = (self.regs[i] & !0xFF) | (v & 0xFF);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rflags_roundtrip() {
+        let f = Flags {
+            cf: true,
+            zf: false,
+            sf: true,
+            of: true,
+            pf: false,
+        };
+        assert_eq!(Flags::from_rflags(f.to_rflags()), f);
+        // Reserved bit 1 is always set in the image.
+        assert!(f.to_rflags() & 0x2 != 0);
+    }
+
+    #[test]
+    fn result_flags() {
+        let mut f = Flags::default();
+        f.set_result(0, Width::Q);
+        assert!(f.zf && !f.sf);
+        f.set_result(0x8000_0000_0000_0000, Width::Q);
+        assert!(!f.zf && f.sf);
+        f.set_result(0x80, Width::B);
+        assert!(f.sf);
+        f.set_result(0x80, Width::D);
+        assert!(!f.sf);
+        // Parity of 0b11 = even → pf set.
+        f.set_result(3, Width::B);
+        assert!(f.pf);
+        f.set_result(1, Width::B);
+        assert!(!f.pf);
+    }
+
+    #[test]
+    fn dword_write_zero_extends() {
+        let mut c = Cpu::new();
+        c.set(Reg::Rax, u64::MAX);
+        c.set_w(0, Width::D, false, 0x1234);
+        assert_eq!(c.get(Reg::Rax), 0x1234);
+    }
+
+    #[test]
+    fn word_and_byte_writes_merge() {
+        let mut c = Cpu::new();
+        c.set(Reg::Rax, 0x1111_2222_3333_4444);
+        c.set_w(0, Width::W, false, 0xABCD);
+        assert_eq!(c.get(Reg::Rax), 0x1111_2222_3333_ABCD);
+        c.set_w(0, Width::B, false, 0xEF);
+        assert_eq!(c.get(Reg::Rax), 0x1111_2222_3333_ABEF);
+    }
+
+    #[test]
+    fn high_byte_registers_without_rex() {
+        let mut c = Cpu::new();
+        c.set(Reg::Rax, 0xAABB);
+        // num 4 without REX = %ah.
+        assert_eq!(c.get_w(4, Width::B, false), 0xAA);
+        c.set_w(4, Width::B, false, 0x77);
+        assert_eq!(c.get(Reg::Rax), 0x77BB);
+        // num 4 with REX = %spl.
+        c.set(Reg::Rsp, 0x1234);
+        assert_eq!(c.get_w(4, Width::B, true), 0x34);
+    }
+}

@@ -1,0 +1,125 @@
+//! Guest heap allocators.
+//!
+//! The emulator services guest `malloc`/`free` through pseudo-syscalls (see
+//! `exec`), pluggable so the heap-hardening experiment can swap in the
+//! low-fat allocator. Allocation *policy* lives here; the *instrumentation
+//! path* under test (trampoline → check function → table lookup) runs as
+//! real guest x86 code.
+
+use std::fmt;
+
+/// A guest heap implementation.
+pub trait HeapAllocator: fmt::Debug {
+    /// Allocate `size` bytes; returns the guest pointer (0 on failure).
+    fn malloc(&mut self, size: u64) -> u64;
+    /// Free a previous allocation (pointers not from `malloc` are ignored).
+    fn free(&mut self, ptr: u64);
+    /// Range of guest addresses this heap hands out (used by the emulator
+    /// to lazily map pages).
+    fn range(&self) -> (u64, u64);
+}
+
+/// Base address of the default bump heap — far above the binary image and
+/// any trampoline the rewriter can place.
+pub const BUMP_HEAP_BASE: u64 = 0x6000_0000_0000;
+/// Default bump-heap capacity.
+pub const BUMP_HEAP_SIZE: u64 = 1 << 32;
+
+/// A simple bump allocator with 16-byte alignment and free-list-free
+/// `free` (allocations are never reused; ample for the bounded synthetic
+/// workloads).
+#[derive(Debug)]
+pub struct BumpHeap {
+    base: u64,
+    next: u64,
+    end: u64,
+    /// Number of `malloc` calls served.
+    pub allocs: u64,
+    /// Number of `free` calls observed.
+    pub frees: u64,
+}
+
+impl BumpHeap {
+    /// Bump heap at the default base.
+    pub fn new() -> BumpHeap {
+        BumpHeap::with_range(BUMP_HEAP_BASE, BUMP_HEAP_SIZE)
+    }
+
+    /// Bump heap over `[base, base+size)`.
+    pub fn with_range(base: u64, size: u64) -> BumpHeap {
+        BumpHeap {
+            base,
+            next: base + 16,
+            end: base + size,
+            allocs: 0,
+            frees: 0,
+        }
+    }
+}
+
+impl Default for BumpHeap {
+    fn default() -> Self {
+        BumpHeap::new()
+    }
+}
+
+impl HeapAllocator for BumpHeap {
+    fn malloc(&mut self, size: u64) -> u64 {
+        let sz = size.max(1).next_multiple_of(16);
+        if self.next + sz > self.end {
+            return 0;
+        }
+        let p = self.next;
+        self.next += sz + 16; // 16-byte gap between objects
+        self.allocs += 1;
+        p
+    }
+
+    fn free(&mut self, _ptr: u64) {
+        self.frees += 1;
+    }
+
+    fn range(&self) -> (u64, u64) {
+        (self.base, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_alloc_is_aligned_and_disjoint() {
+        let mut h = BumpHeap::new();
+        let a = h.malloc(10);
+        let b = h.malloc(100);
+        assert_eq!(a % 16, 0);
+        assert_eq!(b % 16, 0);
+        assert!(b >= a + 16);
+        assert_eq!(h.allocs, 2);
+    }
+
+    #[test]
+    fn zero_size_allocations_still_distinct() {
+        let mut h = BumpHeap::new();
+        let a = h.malloc(0);
+        let b = h.malloc(0);
+        assert_ne!(a, b);
+        assert_ne!(a, 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_null() {
+        let mut h = BumpHeap::with_range(0x1000, 64);
+        assert_ne!(h.malloc(16), 0);
+        assert_eq!(h.malloc(1 << 20), 0);
+    }
+
+    #[test]
+    fn free_is_counted() {
+        let mut h = BumpHeap::new();
+        let p = h.malloc(8);
+        h.free(p);
+        assert_eq!(h.frees, 1);
+    }
+}

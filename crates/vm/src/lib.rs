@@ -1,0 +1,44 @@
+//! # e9vm — x86-64 user-mode emulator
+//!
+//! The execution substrate for the E9Patch reproduction. Real hardware and
+//! wall-clock benchmarking are replaced by an interpreter that:
+//!
+//! * models **aliased memory mappings** (one physical extent mapped at many
+//!   virtual addresses), which is what physical page grouping (§4 of the
+//!   paper) relies on;
+//! * executes the injected loader's real `mmap` syscalls against the
+//!   binary's own file image (pre-opened as fd 100);
+//! * counts retired instructions as the performance metric (a patched site
+//!   costs ≥ 2 extra `jmpq` per execution, exactly the paper's overhead
+//!   mechanism), with a configurable penalty for B0 `int3` traps;
+//! * services guest `malloc`/`free` through pluggable heap backends so the
+//!   low-fat heap-hardening experiment (§6.3) can swap allocators.
+//!
+//! ```
+//! use e9vm::{load_elf, Vm};
+//! # use e9x86::asm::Asm; use e9x86::reg::Reg;
+//! let mut a = Asm::new(0x401000);
+//! a.mov_ri32(Reg::Rax, 60);      // SYS_exit
+//! a.mov_ri32(Reg::Rdi, 7);
+//! a.syscall();
+//! let mut b = e9elf::build::ElfBuilder::exec(0x400000);
+//! b.text(a.finish().unwrap(), 0x401000);
+//! b.entry(0x401000);
+//!
+//! let mut vm = Vm::new();
+//! load_elf(&mut vm, &b.build()).unwrap();
+//! let result = vm.run(1_000).unwrap();
+//! assert_eq!(result.exit_code, 7);
+//! ```
+
+pub mod cpu;
+pub mod exec;
+pub mod heap;
+pub mod load;
+pub mod mem;
+
+pub use cpu::{Cpu, Flags};
+pub use exec::{RunResult, Vm, VmError, SYS_FREE, SYS_MALLOC};
+pub use heap::{BumpHeap, HeapAllocator};
+pub use load::{load_elf, run_binary, LoadError, SELF_FD};
+pub use mem::{Fault, Memory, Perms};

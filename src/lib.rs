@@ -1,0 +1,14 @@
+//! # e9suite — umbrella crate for the E9Patch reproduction
+//!
+//! This crate re-exports the workspace members and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! per-experiment index.
+
+pub use e9elf as elf;
+pub use e9front as front;
+pub use e9lowfat as lowfat;
+pub use e9patch as patch;
+pub use e9synth as synth;
+pub use e9vm as vm;
+pub use e9x86 as x86;

@@ -1,0 +1,85 @@
+//! §4 at runtime: physical page grouping must reduce the *resident
+//! physical memory* of the loaded, patched program — not just its file
+//! size — because merged blocks are mapped (file-backed) at many virtual
+//! addresses while sharing one physical copy.
+
+use e9front::{instrument_with_disasm, Application, Options, Payload};
+use e9patch::RewriteConfig;
+use e9synth::{generate, Profile};
+use e9vm::{load_elf, Vm};
+
+/// Load a patched binary, run its injected loader to completion (so all
+/// trampoline mappings exist), and report (virtual, physical) footprints.
+fn footprint_after_loader(binary: &[u8], orig_entry: u64) -> (u64, u64) {
+    let mut vm = Vm::new();
+    load_elf(&mut vm, binary).expect("load");
+    let mut guard = 0;
+    while vm.cpu.rip != orig_entry {
+        vm.step().expect("loader");
+        guard += 1;
+        assert!(guard < 10_000_000, "loader did not finish");
+    }
+    (vm.mem.virtual_footprint(), vm.mem.physical_footprint())
+}
+
+#[test]
+fn grouping_reduces_resident_memory() {
+    let mut p = Profile::tiny("ramtest", false);
+    p.funcs = 16; // enough sites to spread trampolines over many pages
+    let sb = generate(&p);
+
+    let mut results = Vec::new();
+    for grouping in [true, false] {
+        let out = instrument_with_disasm(
+            &sb.binary,
+            &sb.disasm,
+            &Options {
+                app: Application::A1Jumps,
+                payload: Payload::Empty,
+                config: RewriteConfig {
+                    grouping,
+                    ..RewriteConfig::default()
+                },
+            },
+        )
+        .expect("instrument");
+        assert!(out.rewrite.stats.succeeded() > 20);
+        let (virt, phys) = footprint_after_loader(&out.rewrite.binary, sb.entry);
+        results.push((grouping, virt, phys, out.rewrite.size.physical_blocks));
+    }
+    let (_, virt_g, phys_g, blocks_g) = results[0];
+    let (_, virt_n, phys_n, blocks_n) = results[1];
+
+    // Same virtual layout in both configurations (trampolines at identical
+    // addresses), but grouping backs them with fewer physical pages.
+    assert_eq!(virt_g, virt_n, "virtual layout must not depend on grouping");
+    assert!(
+        phys_g < phys_n,
+        "grouping should reduce resident memory: grouped={phys_g} naive={phys_n}"
+    );
+    assert!(blocks_g < blocks_n);
+}
+
+#[test]
+fn patched_behaviour_identical_across_backings() {
+    let p = Profile::tiny("rambeh", false);
+    let sb = generate(&p);
+    let orig = e9vm::run_binary(&sb.binary, 100_000_000).unwrap();
+    for grouping in [true, false] {
+        let out = instrument_with_disasm(
+            &sb.binary,
+            &sb.disasm,
+            &Options {
+                app: Application::A1Jumps,
+                payload: Payload::Empty,
+                config: RewriteConfig {
+                    grouping,
+                    ..RewriteConfig::default()
+                },
+            },
+        )
+        .unwrap();
+        let r = e9vm::run_binary(&out.rewrite.binary, 200_000_000).unwrap();
+        assert_eq!(r.output, orig.output, "grouping={grouping}");
+    }
+}
