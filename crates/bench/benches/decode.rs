@@ -1,29 +1,26 @@
 //! Decoder micro-benchmarks: linear-sweep throughput over synthetic
 //! `.text` (the frontend's dominant cost on a 100 MB browser binary).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use e9bench::harness::{Harness, Throughput};
 use e9synth::{generate, Profile};
+use std::hint::black_box;
 
-fn bench_decode(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args("decode");
     let prog = generate(&Profile::tiny("bench-decode", false));
     let elf = e9elf::Elf::parse(&prog.binary).unwrap();
     let text = elf.section_bytes(".text").unwrap().to_vec();
 
-    let mut g = c.benchmark_group("decode");
-    g.throughput(Throughput::Bytes(text.len() as u64));
-    g.bench_with_input(
-        BenchmarkId::new("linear_sweep", text.len()),
-        &text,
-        |b, bytes| {
-            b.iter(|| e9x86::decode::linear_sweep(std::hint::black_box(bytes), 0x401000));
-        },
-    );
-    g.bench_function("single_insn", |b| {
-        let bytes = [0x48u8, 0x89, 0x44, 0x8D, 0x10]; // mov %rax,0x10(%rbp,%rcx,4)
-        b.iter(|| e9x86::decode(std::hint::black_box(&bytes), 0x401000).unwrap());
+    h.throughput(Throughput::Bytes(text.len() as u64));
+    h.bench(&format!("linear_sweep/{}", text.len()), || {
+        e9x86::decode::linear_sweep(black_box(&text), 0x401000)
     });
-    g.finish();
-}
 
-criterion_group!(benches, bench_decode);
-criterion_main!(benches);
+    let bytes = [0x48u8, 0x89, 0x44, 0x8D, 0x10]; // mov %rax,0x10(%rbp,%rcx,4)
+    h.throughput(Throughput::Bytes(bytes.len() as u64));
+    h.bench("single_insn", || {
+        e9x86::decode(black_box(&bytes), 0x401000).unwrap()
+    });
+
+    h.finish();
+}

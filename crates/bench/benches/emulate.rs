@@ -1,11 +1,13 @@
 //! Emulator throughput: instructions per second of the interpreter that
 //! backs every Time% measurement.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use e9bench::harness::{Harness, Throughput};
 use e9synth::{generate, Profile};
 use e9vm::{load_elf, Vm};
+use std::hint::black_box;
 
-fn bench_emulate(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args("emulate");
     let prog = generate(&Profile::tiny("bench-vm", false));
     // Measure raw retired instructions for throughput accounting.
     let insns = {
@@ -14,17 +16,12 @@ fn bench_emulate(c: &mut Criterion) {
         vm.run(u64::MAX).unwrap().insns
     };
 
-    let mut g = c.benchmark_group("emulate");
-    g.throughput(Throughput::Elements(insns));
-    g.bench_function("run_tiny_program", |b| {
-        b.iter(|| {
-            let mut vm = Vm::new();
-            load_elf(&mut vm, std::hint::black_box(&prog.binary)).unwrap();
-            vm.run(u64::MAX).unwrap()
-        });
+    h.throughput(Throughput::Elements(insns));
+    h.bench("run_tiny_program", || {
+        let mut vm = Vm::new();
+        load_elf(&mut vm, black_box(&prog.binary)).unwrap();
+        vm.run(u64::MAX).unwrap()
     });
-    g.finish();
-}
 
-criterion_group!(benches, bench_emulate);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,9 +1,8 @@
 //! Physical page grouping micro-benchmark: the greedy partitioning pass
 //! over scattered trampolines (§4).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use e9bench::harness::{Harness, Throughput};
+use e9rng::StdRng;
 
 fn scattered_trampolines(n: usize) -> Vec<(u64, Vec<u8>)> {
     // Mimic punned placement: uniform over a 256 MB window, 16–40 bytes
@@ -22,23 +21,16 @@ fn scattered_trampolines(n: usize) -> Vec<(u64, Vec<u8>)> {
     v
 }
 
-fn bench_grouping(c: &mut Criterion) {
-    let mut g = c.benchmark_group("grouping");
+fn main() {
+    let mut h = Harness::from_args("grouping");
     for n in [1_000usize, 10_000] {
         let ts = scattered_trampolines(n);
-        g.throughput(Throughput::Elements(n as u64));
         for m in [1u64, 16] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("greedy_m{m}"), n),
-                &ts,
-                |b, ts| {
-                    b.iter(|| e9patch::group::group(std::hint::black_box(ts), m, true));
-                },
-            );
+            h.throughput(Throughput::Elements(n as u64));
+            h.bench(&format!("greedy_m{m}/{n}"), || {
+                e9patch::group::group(std::hint::black_box(&ts), m, true)
+            });
         }
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_grouping);
-criterion_main!(benches);

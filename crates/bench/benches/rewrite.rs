@@ -2,13 +2,14 @@
 //! scalability argument is that patching is local and needs no global
 //! analysis, so cost is linear in the number of sites.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use e9bench::harness::{Harness, Throughput};
 use e9front::{instrument_with_disasm, Application, Options, Payload};
 use e9patch::RewriteConfig;
 use e9synth::{generate, Preset, Profile};
+use std::hint::black_box;
 
-fn bench_rewrite(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rewrite");
+fn main() {
+    let mut h = Harness::from_args("rewrite");
     for scale in [400u64, 100] {
         let profile = Profile::scaled(
             "bench-rw",
@@ -27,28 +28,19 @@ fn bench_rewrite(c: &mut Criterion) {
         );
         let prog = generate(&profile);
         let sites = prog.disasm.iter().filter(|i| i.kind.is_jump()).count();
-        g.throughput(Throughput::Elements(sites as u64));
-        g.bench_with_input(
-            BenchmarkId::new("a1_empty", sites),
-            &prog,
-            |b, prog| {
-                b.iter(|| {
-                    instrument_with_disasm(
-                        &prog.binary,
-                        &prog.disasm,
-                        &Options {
-                            app: Application::A1Jumps,
-                            payload: Payload::Empty,
-                            config: RewriteConfig::default(),
-                        },
-                    )
-                    .unwrap()
-                });
-            },
-        );
+        h.throughput(Throughput::Elements(sites as u64));
+        h.bench(&format!("a1_empty/{sites}"), || {
+            instrument_with_disasm(
+                black_box(&prog.binary),
+                &prog.disasm,
+                &Options {
+                    app: Application::A1Jumps,
+                    payload: Payload::Empty,
+                    config: RewriteConfig::default(),
+                },
+            )
+            .unwrap()
+        });
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_rewrite);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! Shared machinery for the table/figure generator binaries (`table1`,
 //! `fig4`, `fig5`, `ablation_grouping`, `ablation_tactics`, `b0_cost`,
-//! `granularity`) and the Criterion micro-benchmarks. See DESIGN.md §3 for
+//! `granularity`) and the in-tree micro-benchmarks (see [`harness`]). See DESIGN.md §3 for
 //! the experiment index and EXPERIMENTS.md for recorded results.
 //!
 //! Every measurement *also* verifies correctness: the patched binary must
@@ -14,6 +14,8 @@ use e9front::{instrument_with_disasm, Application, Options, Payload};
 use e9patch::{PatchStats, RewriteConfig, SizeStats};
 use e9synth::{generate, Profile};
 use e9vm::{load_elf, RunResult, Vm};
+
+pub mod harness;
 
 /// Upper bound on emulated cost units per run.
 pub const MAX_STEPS: u64 = 2_000_000_000;

@@ -3,14 +3,14 @@
 use crate::layout::{AddressSpace, Window, MAX_ADDR, MIN_ADDR};
 use crate::lock::LockMap;
 use crate::pun::PunJump;
-use proptest::prelude::*;
+use e9qcheck::prelude::*;
 
-proptest! {
+props! {
     /// Every target inside a pun's window must encode, and the encoded
     /// jump, spliced over the image, must decode to exactly that target.
     #[test]
     fn pun_window_targets_all_encode(
-        image in proptest::collection::vec(any::<u8>(), 10..16),
+        image in vec(any::<u8>(), 10..16),
         writable in 1u8..8,
         padding in 0u8..4,
         addr in MIN_ADDR..(1u64 << 40),
@@ -38,7 +38,7 @@ proptest! {
     /// Targets outside the window must be rejected.
     #[test]
     fn pun_rejects_out_of_window(
-        image in proptest::collection::vec(any::<u8>(), 10..16),
+        image in vec(any::<u8>(), 10..16),
         writable in 1u8..8,
         addr in MIN_ADDR..(1u64 << 40),
         offset in 1u64..(1u64 << 33),
@@ -59,7 +59,7 @@ proptest! {
     /// Allocations never overlap and respect their windows.
     #[test]
     fn allocator_disjointness(
-        reqs in proptest::collection::vec((0u64..1u64 << 24, 1u64..512, 0u64..3), 1..60),
+        reqs in vec((0u64..1u64 << 24, 1u64..512, 0u64..3), 1..60),
     ) {
         let mut space = AddressSpace::new();
         let mut taken: Vec<(u64, u64)> = Vec::new();
@@ -97,7 +97,7 @@ proptest! {
     /// Lock-map writes are refused iff any byte is locked.
     #[test]
     fn lockmap_refuses_locked(
-        locks in proptest::collection::vec((0u64..256, 1u64..8, any::<bool>()), 0..32),
+        locks in vec((0u64..256, 1u64..8, any::<bool>()), 0..32),
         probe in (0u64..256, 1u64..8),
     ) {
         let mut map = LockMap::new();
@@ -125,7 +125,7 @@ proptest! {
     /// blocks than the naive scheme.
     #[test]
     fn grouping_conserves_bytes(
-        tramps in proptest::collection::vec((0u64..1u64 << 16, 1usize..64), 1..40),
+        tramps in vec((0u64..1u64 << 16, 1usize..64), 1..40),
         granularity in 1u64..4,
     ) {
         // Make trampolines disjoint by spacing them out.

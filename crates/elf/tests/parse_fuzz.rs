@@ -3,7 +3,7 @@
 
 use e9elf::build::ElfBuilder;
 use e9elf::Elf;
-use proptest::prelude::*;
+use e9qcheck::prelude::*;
 
 fn valid_binary() -> Vec<u8> {
     let mut b = ElfBuilder::exec(0x400000);
@@ -15,10 +15,10 @@ fn valid_binary() -> Vec<u8> {
     b.build()
 }
 
-proptest! {
+props! {
     /// Arbitrary bytes: parse returns an error or a structurally sane Elf.
     #[test]
-    fn parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+    fn parse_never_panics(bytes in vec(any::<u8>(), 0..512)) {
         if let Ok(elf) = Elf::parse(&bytes) {
             // Accessors must stay total too.
             let _ = elf.entry();

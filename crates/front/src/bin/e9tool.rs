@@ -78,7 +78,7 @@ impl Args {
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
     let out = args.value("out").ok_or("gen requires -o OUT")?;
-    let profile = if let Some(name) = args.value("tiny") {
+    let mut profile = if let Some(name) = args.value("tiny") {
         e9synth::Profile::tiny(name, args.flag("pie"))
     } else if let Some(name) = args.value("profile") {
         let scale: u64 = args
@@ -93,13 +93,23 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     } else {
         return Err("gen requires --tiny NAME or --profile NAME".into());
     };
+    // E9_SEED pins the generator stream irrespective of the profile name —
+    // the hermetic-reproduction hook (two runs with the same seed must
+    // produce byte-identical binaries).
+    if let Ok(seed) = std::env::var("E9_SEED") {
+        profile.seed = seed
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad E9_SEED {seed:?} (want a u64)"))?;
+    }
     let sb = e9synth::generate(&profile);
     std::fs::write(out, &sb.binary).map_err(|e| e.to_string())?;
     println!(
-        "wrote {out}: {} bytes, entry {:#x}, {} instructions",
+        "wrote {out}: {} bytes, entry {:#x}, {} instructions, seed {}",
         sb.binary.len(),
         sb.entry,
-        sb.disasm.len()
+        sb.disasm.len(),
+        profile.seed
     );
     Ok(())
 }

@@ -1,0 +1,409 @@
+//! # e9rng — deterministic, dependency-free pseudo-randomness
+//!
+//! The whole workspace must build and test **offline**: no registry, no
+//! `rand` crate. This crate provides the small slice of `rand`'s API the
+//! synthesizer ([`e9synth`]), the property-test harness (`e9qcheck`) and
+//! the benchmark generators actually use, backed by two tiny, well-known
+//! generators:
+//!
+//! * [`SplitMix64`] — the canonical 64-bit seed expander (Steele et al.),
+//!   used to turn a single `u64` seed into a full xoshiro state.
+//! * [`Xoshiro256pp`] — xoshiro256++ (Blackman & Vigna), the workspace's
+//!   workhorse generator. Exported as [`StdRng`] so call sites read the
+//!   same as they would against `rand`.
+//!
+//! Everything here is deterministic by construction: the same seed always
+//! yields the same stream on every platform (only shift/rotate/multiply on
+//! `u64`), which is what makes `E9_SEED`-pinned reproduction runs
+//! byte-identical.
+//!
+//! [`e9synth`]: ../e9synth/index.html
+
+/// The canonical SplitMix64 sequence (Steele, Lea, Flood 2014). Used to
+/// expand a single `u64` seed into generator state; also usable directly
+/// where a minimal, splittable stream is enough.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Start the sequence at `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna, 2019): 256 bits of state, full
+/// 64-bit output, passes BigCrush, and is trivially portable — exactly
+/// what a hermetic test/bench loop needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+/// The workspace's default generator, named for `rand` parity so ports
+/// are mechanical (`StdRng::seed_from_u64(..)` reads identically).
+pub type StdRng = Xoshiro256pp;
+
+impl Xoshiro256pp {
+    /// Seed via SplitMix64 expansion (the upstream-recommended way to
+    /// initialise xoshiro state from a small seed; never yields the
+    /// all-zero state).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256pp {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Next 32-bit output (upper bits — xoshiro's weakest bits are the
+    /// low ones).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    ///
+    /// Lemire's widening-multiply method with rejection — unbiased and
+    /// only one division in the (rare) rejection path.
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform sample from `range` (`a..b` or `a..=b`). Panics on an
+    /// empty range, mirroring `rand`.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform value of a primitive type (`rand`-style `gen::<T>()`).
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Fill `buf` with uniform bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        let mut chunks = buf.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let b = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&b[..rest.len()]);
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded_u64(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.bounded_u64(slice.len() as u64) as usize])
+        }
+    }
+
+    /// Jump ahead 2^128 steps — carves independent substreams out of one
+    /// seed (one per worker/test without inter-stream correlation).
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180EC6D33CFD0ABA,
+            0xD5A61266F0C9392C,
+            0xA9582618E03FC9AA,
+            0x39ABDC4529B1661C,
+        ];
+        let mut acc = [0u64; 4];
+        for j in JUMP {
+            for b in 0..64 {
+                if (j >> b) & 1 != 0 {
+                    for (a, s) in acc.iter_mut().zip(self.s) {
+                        *a ^= s;
+                    }
+                }
+                self.next_u64();
+            }
+        }
+        self.s = acc;
+    }
+}
+
+/// Types [`Xoshiro256pp::gen`] can produce uniformly.
+pub trait Sample: Sized {
+    fn sample(rng: &mut Xoshiro256pp) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl Sample for $t {
+            fn sample(rng: &mut Xoshiro256pp) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Sample for bool {
+    fn sample(rng: &mut Xoshiro256pp) -> bool {
+        rng.next_u64() & 1 != 0
+    }
+}
+
+impl Sample for f64 {
+    fn sample(rng: &mut Xoshiro256pp) -> f64 {
+        rng.gen_f64()
+    }
+}
+
+/// Ranges [`Xoshiro256pp::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut Xoshiro256pp) -> T;
+}
+
+macro_rules! impl_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut Xoshiro256pp) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.bounded_u64(span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut Xoshiro256pp) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.bounded_u64(span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_range_uint!(u8, u16, u32, usize);
+
+impl SampleRange<u64> for core::ops::Range<u64> {
+    fn sample(self, rng: &mut Xoshiro256pp) -> u64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.bounded_u64(self.end - self.start)
+    }
+}
+impl SampleRange<u64> for core::ops::RangeInclusive<u64> {
+    fn sample(self, rng: &mut Xoshiro256pp) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range on empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + rng.bounded_u64(span + 1)
+    }
+}
+
+macro_rules! impl_range_sint {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut Xoshiro256pp) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(rng.bounded_u64(span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut Xoshiro256pp) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.bounded_u64(span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_range_sint!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample(self, rng: &mut Xoshiro256pp) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs of SplitMix64 with seed 0 (published reference).
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220A8397B1DCDAF);
+        assert_eq!(sm.next_u64(), 0x6E789E6AA1B965F4);
+        assert_eq!(sm.next_u64(), 0x06C45D188009454F);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(-64i32..256);
+            assert!((-64..256).contains(&w));
+            let x = r.gen_range(3usize..=9);
+            assert!((3..=9).contains(&x));
+            let f = r.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn full_width_inclusive_ranges() {
+        let mut r = StdRng::seed_from_u64(5);
+        // Must not overflow or hang.
+        let _: u64 = r.gen_range(0u64..=u64::MAX);
+        let _: i64 = r.gen_range(i64::MIN..=i64::MAX);
+        let _: u8 = r.gen_range(0u8..=u8::MAX);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits={hits}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.1)));
+    }
+
+    #[test]
+    fn fill_bytes_all_lengths() {
+        let mut r = StdRng::seed_from_u64(9);
+        for n in 0..40 {
+            let mut buf = vec![0u8; n];
+            r.fill_bytes(&mut buf);
+            if n >= 16 {
+                assert!(buf.iter().any(|&b| b != 0), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = StdRng::seed_from_u64(13);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice sorted");
+    }
+
+    #[test]
+    fn choose_empty_and_nonempty() {
+        let mut r = StdRng::seed_from_u64(17);
+        assert_eq!(r.choose::<u8>(&[]), None);
+        let xs = [4u8, 5, 6];
+        for _ in 0..50 {
+            assert!(xs.contains(r.choose(&xs).unwrap()));
+        }
+    }
+
+    #[test]
+    fn jump_produces_disjoint_stream() {
+        let mut a = StdRng::seed_from_u64(21);
+        let mut b = a.clone();
+        b.jump();
+        let overlap = (0..256).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(overlap, 0);
+    }
+}

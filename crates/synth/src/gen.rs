@@ -23,8 +23,7 @@ use e9elf::build::ElfBuilder;
 use e9x86::asm::{Asm, Label, Mem};
 use e9x86::insn::{Cond, Insn};
 use e9x86::reg::{Reg, Width};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use e9rng::StdRng;
 
 /// A generated benchmark binary plus its disassembly information.
 #[derive(Debug, Clone)]
@@ -226,7 +225,7 @@ impl<'a> Gen<'a> {
             .rng
             .gen_range(self.p.blocks_per_fn.0..=self.p.blocks_per_fn.1);
         let block_labels: Vec<Label> = (0..nblocks).map(|_| self.a.fresh_label()).collect();
-        let has_switch = self.rng.gen_range(0..100) < self.p.switch_pct;
+        let has_switch = self.rng.gen_range(0u32..100) < self.p.switch_pct;
         let switch_at = if has_switch && nblocks > 1 {
             Some(self.rng.gen_range(0..nblocks))
         } else {
@@ -244,7 +243,7 @@ impl<'a> Gen<'a> {
             if Some(b) == switch_at {
                 self.emit_switch();
             }
-            if self.rng.gen_range(0..100) < self.p.call_pct && i + 1 < self.fn_labels.len() {
+            if self.rng.gen_range(0u32..100) < self.p.call_pct && i + 1 < self.fn_labels.len() {
                 let j = self.rng.gen_range(i + 1..self.fn_labels.len());
                 let callee = self.fn_labels[j];
                 if self.rng.gen_bool(0.25) {

@@ -6,7 +6,7 @@
 use e9vm::{load_elf, Vm};
 use e9x86::asm::{Asm, Mem};
 use e9x86::reg::{Reg, Width};
-use proptest::prelude::*;
+use e9qcheck::prelude::*;
 
 const RESULT_ADDR: u64 = 0x403000;
 
@@ -148,7 +148,7 @@ fn check(op: Op, av: u64, bv: u64, w: Width) -> Result<(), TestCaseError> {
     Ok(())
 }
 
-proptest! {
+props! {
     #[test]
     fn alu_matches_model(
         op_idx in 0usize..10,

@@ -5,13 +5,13 @@ use e9x86::decode::{decode, linear_sweep, DecodeError};
 use e9x86::insn::Cond;
 use e9x86::reg::{Reg, Width};
 use e9x86::reloc::relocate;
-use proptest::prelude::*;
+use e9qcheck::prelude::*;
 
-proptest! {
+props! {
     /// The decoder must never panic and never report a length longer than
     /// its input or the 15-byte architectural limit.
     #[test]
-    fn decode_total_and_bounded(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+    fn decode_total_and_bounded(bytes in vec(any::<u8>(), 0..24)) {
         match decode(&bytes, 0x400000) {
             Ok(insn) => {
                 prop_assert!(insn.len() <= 15);
@@ -26,7 +26,7 @@ proptest! {
 
     /// Linear sweep over arbitrary bytes terminates and makes progress.
     #[test]
-    fn linear_sweep_terminates(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+    fn linear_sweep_terminates(bytes in vec(any::<u8>(), 0..256)) {
         let insns = linear_sweep(&bytes, 0x1000);
         let mut last_end = 0x1000u64;
         for i in &insns {
@@ -40,9 +40,9 @@ proptest! {
     /// with matching instruction boundaries.
     #[test]
     fn assembler_decoder_roundtrip(
-        ops in proptest::collection::vec(0u8..14, 1..40),
-        regs in proptest::collection::vec(0u8..16, 40),
-        imms in proptest::collection::vec(any::<i32>(), 40),
+        ops in vec(0u8..14, 1..40),
+        regs in vec(0u8..16, 40),
+        imms in vec(any::<i32>(), 40),
     ) {
         let mut a = Asm::new(0x401000);
         for (i, op) in ops.iter().enumerate() {

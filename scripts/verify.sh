@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Pre-merge verification — the documented gate for every PR.
+#
+# Fully hermetic: no network, no registry access (all dependencies are
+# in-tree path crates; see "Hermetic build" in README.md). Runs:
+#
+#   1. tier-1: release build + full workspace test suite
+#   2. bench smoke: every `cargo bench` target compiles and executes
+#   3. seed-pinned reproducibility: two E9_SEED=42 synth+rewrite runs
+#      must produce byte-identical artifacts
+#
+# Knobs: E9QCHECK_CASES scales property-test depth (default 64);
+# E9_SEED pins the generator seed used by step 3's CLI runs.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== tier-1: cargo build --release =="
+cargo build --release --offline --workspace
+
+echo "== tier-1: cargo test (workspace) =="
+cargo test -q --offline --workspace
+
+echo "== bench smoke (in-tree harness) =="
+cargo bench -q --offline -p e9bench -- --smoke --no-json
+
+echo "== seed-pinned reproducibility (E9_SEED=${E9_SEED:-42}) =="
+export E9_SEED="${E9_SEED:-42}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+e9tool=(cargo run -q --release --offline -p e9front --bin e9tool --)
+"${e9tool[@]}" gen --tiny verify -o "$tmp/a.elf"
+"${e9tool[@]}" gen --tiny verify -o "$tmp/b.elf"
+cmp "$tmp/a.elf" "$tmp/b.elf"
+"${e9tool[@]}" patch "$tmp/a.elf" -o "$tmp/a.e9" --app a1 --verify
+"${e9tool[@]}" patch "$tmp/b.elf" -o "$tmp/b.e9" --app a1 --verify
+cmp "$tmp/a.e9" "$tmp/b.e9"
+echo "byte-identical artifacts: ok"
+
+echo "ALL CHECKS PASSED"

@@ -7,7 +7,7 @@
 use e9front::{instrument_with_disasm, Application, Options, Payload};
 use e9patch::{RewriteConfig, Tactics};
 use e9synth::{generate, Profile};
-use proptest::prelude::*;
+use e9qcheck::prelude::*;
 
 fn random_profile(name: String, pie: bool, funcs: usize, switch_pct: u32, iters: u32) -> Profile {
     let mut p = Profile::tiny(&name, pie);
@@ -17,17 +17,14 @@ fn random_profile(name: String, pie: bool, funcs: usize, switch_pct: u32, iters:
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        .. ProptestConfig::default()
-    })]
+props! {
+    #![cases = 12]
 
     /// A1 instrumentation preserves behaviour for arbitrary programs,
     /// PIE-ness, tactic sets and grouping configurations.
     #[test]
     fn a1_preserves_behaviour(
-        seed in "[a-z]{6}",
+        seed in alpha(6),
         pie in any::<bool>(),
         funcs in 2usize..8,
         switch_pct in 0u32..100,
@@ -77,7 +74,7 @@ proptest! {
     /// patched site.
     #[test]
     fn a2_counter_preserves_behaviour(
-        seed in "[a-z]{6}",
+        seed in alpha(6),
         pie in any::<bool>(),
         funcs in 2usize..6,
         iters in 2u32..6,
@@ -107,7 +104,7 @@ proptest! {
     /// regardless of program shape.
     #[test]
     fn lowfat_no_false_positives(
-        seed in "[a-z]{6}",
+        seed in alpha(6),
         funcs in 2usize..6,
         iters in 2u32..6,
     ) {
