@@ -67,7 +67,7 @@ pub mod trampoline;
 pub mod verify;
 
 pub use error::{Error, Result};
-pub use planner::{PatchRequest, Planner, RewriteConfig, SiteReport, Tactics};
+pub use planner::{AllocPolicy, PatchRequest, Planner, RewriteConfig, SiteReport, Tactics};
 pub use rewriter::{ExtraSegment, RewriteOutput, Rewriter};
 pub use stats::{PatchStats, SizeStats, TacticKind};
 pub use trampoline::Template;

@@ -28,15 +28,21 @@ pub mod manifest {
         v
     }
 
-    /// Parse a trap manifest; `None` if `bytes` is not one.
+    /// Parse a trap manifest; `None` if `bytes` is not one (wrong magic,
+    /// truncated body, or a count field that does not fit the input —
+    /// including counts large enough to overflow the length arithmetic).
     pub fn decode(bytes: &[u8]) -> Option<Vec<(u64, u64)>> {
         if bytes.len() < 16 || &bytes[..8] != MAGIC {
             return None;
         }
-        let n = u64::from_le_bytes(bytes[8..16].try_into().ok()?) as usize;
-        if bytes.len() < 16 + n * 16 {
+        let n = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+        // Checked arithmetic: a hostile count must not wrap into a bogus
+        // "fits" verdict (or panic the debug build).
+        let need = n.checked_mul(16).and_then(|b| b.checked_add(16))?;
+        if (bytes.len() as u64) < need {
             return None;
         }
+        let n = n as usize;
         Some(
             (0..n)
                 .map(|i| {

@@ -1,0 +1,70 @@
+//! Property tests for the B0 trap-table manifest codec.
+//!
+//! The manifest is embedded in the output binary and read back by loaders
+//! and external tooling, so `decode` must (a) invert `encode` exactly and
+//! (b) treat every malformed byte string — truncations, hostile count
+//! fields — as "not a manifest" rather than panicking.
+
+use e9patch::rewriter::manifest;
+use e9qcheck::prelude::*;
+
+props! {
+    #[test]
+    fn encode_decode_round_trips(traps in vec((any::<u64>(), any::<u64>()), 0..64)) {
+        let blob = manifest::encode(&traps);
+        prop_assert_eq!(manifest::decode(&blob), Some(traps));
+    }
+
+    #[test]
+    fn truncated_input_never_panics(
+        traps in vec((any::<u64>(), any::<u64>()), 0..32),
+        cut in 0usize..512,
+    ) {
+        let blob = manifest::encode(&traps);
+        let cut = cut.min(blob.len());
+        let prefix = &blob[..cut];
+        // Every strict prefix is either rejected or — when the cut lands
+        // on an entry boundary past the header — must still decode to a
+        // prefix of the original pairs... except the count field pins the
+        // length, so any strict prefix must be rejected.
+        if cut < blob.len() {
+            prop_assert_eq!(manifest::decode(prefix), None);
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..256)) {
+        // Random data: decode may only succeed if it really is a valid
+        // manifest, and must never panic. Re-encoding a successful decode
+        // must reproduce a prefix-consistent blob.
+        if let Some(traps) = manifest::decode(&bytes) {
+            let re = manifest::encode(&traps);
+            prop_assert_eq!(&re[..], &bytes[..re.len()]);
+        }
+    }
+
+    #[test]
+    fn hostile_count_fields_are_rejected(count in any::<u64>()) {
+        // A header whose count promises more entries than the input holds
+        // (including counts that overflow `16 + 16*n`) must be rejected.
+        let mut blob = Vec::new();
+        blob.extend_from_slice(manifest::MAGIC);
+        blob.extend_from_slice(&count.to_le_bytes());
+        if count != 0 {
+            prop_assert_eq!(manifest::decode(&blob), None);
+        } else {
+            prop_assert_eq!(manifest::decode(&blob), Some(Vec::new()));
+        }
+    }
+}
+
+#[test]
+fn overflow_count_regression() {
+    // n = u64::MAX used to overflow `16 + n * 16` and wrap into a bogus
+    // "fits" verdict (panicking in debug builds).
+    let mut blob = Vec::new();
+    blob.extend_from_slice(manifest::MAGIC);
+    blob.extend_from_slice(&u64::MAX.to_le_bytes());
+    blob.extend_from_slice(&[0u8; 64]);
+    assert_eq!(manifest::decode(&blob), None);
+}

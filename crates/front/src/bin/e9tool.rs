@@ -23,10 +23,14 @@ USAGE:
   e9tool disasm BINARY [--limit N]
   e9tool patch BINARY -o OUT [--app a1|a2|a3|all] [--payload empty|counter|counters|lowfat|trace]
               [--no-t1] [--no-t2] [--no-t3] [--b0] [--granularity M] [--no-grouping]
-              [--report] [--verify]
+              [--report] [--verify] [--backend stdio|/path/to.sock]
   e9tool run  BINARY [--lowfat] [--max-steps N] [--hex-output]
 
-`gen --profile` accepts any Table 1 row name (perlbench, gcc, chrome, ...)."
+`gen --profile` accepts any Table 1 row name (perlbench, gcc, chrome, ...).
+`patch --backend` drives the rewrite through an e9patchd backend over the
+wire protocol instead of in-process: `stdio` spawns a daemon child
+($E9PATCHD, an e9patchd next to e9tool, or $PATH), a path connects to a
+daemon's Unix socket. Output is byte-identical to the in-process path."
     );
     ExitCode::from(2)
 }
@@ -47,7 +51,7 @@ impl Args {
                 let takes_value = matches!(
                     name,
                     "tiny" | "profile" | "scale" | "app" | "payload" | "granularity"
-                        | "max-steps" | "limit"
+                        | "max-steps" | "limit" | "backend"
                 );
                 if takes_value && i + 1 < argv.len() {
                     flags.insert(name.to_string(), argv[i + 1].clone());
@@ -74,9 +78,33 @@ impl Args {
     fn value(&self, name: &str) -> Option<&str> {
         self.flags.get(name).map(|s| s.as_str())
     }
+
+    /// Reject any flag not in `allowed` ("out" stands for `-o`). A typo'd
+    /// flag must be a hard error, not a silently ignored no-op.
+    fn check_flags(&self, allowed: &[&str]) -> Result<(), String> {
+        let mut unknown: Vec<&str> = self
+            .flags
+            .keys()
+            .map(|k| k.as_str())
+            .filter(|k| !allowed.contains(k))
+            .collect();
+        unknown.sort_unstable();
+        match unknown.as_slice() {
+            [] => Ok(()),
+            [one] => Err(format!("unknown flag --{one} (see `e9tool` for usage)")),
+            many => Err(format!(
+                "unknown flags: {} (see `e9tool` for usage)",
+                many.iter()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )),
+        }
+    }
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
+    args.check_flags(&["tiny", "profile", "pie", "scale", "out"])?;
     let out = args.value("out").ok_or("gen requires -o OUT")?;
     let mut profile = if let Some(name) = args.value("tiny") {
         e9synth::Profile::tiny(name, args.flag("pie"))
@@ -115,6 +143,7 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_info(args: &Args) -> Result<(), String> {
+    args.check_flags(&[])?;
     let path = args.positional.first().ok_or("info requires BINARY")?;
     let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
     let elf = e9elf::Elf::parse(&bytes).map_err(|e| e.to_string())?;
@@ -151,6 +180,7 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_disasm(args: &Args) -> Result<(), String> {
+    args.check_flags(&["limit"])?;
     let path = args.positional.first().ok_or("disasm requires BINARY")?;
     let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
     let disasm = e9front::disassemble_text(&bytes).map_err(|e| e.to_string())?;
@@ -179,7 +209,37 @@ fn cmd_disasm(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Open the protocol backend named by `--backend`: `stdio` spawns the
+/// default daemon as a child; anything else is a Unix socket path.
+fn backend_client(spec: &str) -> Result<e9proto::ProtoClient, String> {
+    if spec == "stdio" {
+        return e9proto::ProtoClient::spawn_default().map_err(|e| e.to_string());
+    }
+    #[cfg(unix)]
+    {
+        e9proto::ProtoClient::connect_unix(std::path::Path::new(spec)).map_err(|e| e.to_string())
+    }
+    #[cfg(not(unix))]
+    {
+        Err(format!("socket backends are unix-only, cannot use {spec}"))
+    }
+}
+
 fn cmd_patch(args: &Args) -> Result<(), String> {
+    args.check_flags(&[
+        "out",
+        "app",
+        "payload",
+        "no-t1",
+        "no-t2",
+        "no-t3",
+        "b0",
+        "granularity",
+        "no-grouping",
+        "report",
+        "verify",
+        "backend",
+    ])?;
     let path = args.positional.first().ok_or("patch requires BINARY")?;
     let out_path = args.value("out").ok_or("patch requires -o OUT")?;
     let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
@@ -215,7 +275,16 @@ fn cmd_patch(args: &Args) -> Result<(), String> {
         ..RewriteConfig::default()
     };
 
-    let res = instrument(&bytes, &Options { app, payload, config }).map_err(|e| e.to_string())?;
+    let opts = Options { app, payload, config };
+    let res = match args.value("backend") {
+        None => instrument(&bytes, &opts).map_err(|e| e.to_string())?,
+        Some(spec) => {
+            let disasm = e9front::disassemble_text(&bytes).map_err(|e| e.to_string())?;
+            let mut client = backend_client(spec)?;
+            e9front::instrument_via_backend(&bytes, &disasm, &opts, &mut client)
+                .map_err(|e| e.to_string())?
+        }
+    };
     std::fs::write(out_path, &res.rewrite.binary).map_err(|e| e.to_string())?;
     if args.flag("verify") {
         let orig = e9elf::Elf::parse(&bytes).map_err(|e| e.to_string())?;
@@ -279,6 +348,7 @@ fn cmd_patch(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
+    args.check_flags(&["lowfat", "max-steps", "hex-output"])?;
     let path = args.positional.first().ok_or("run requires BINARY")?;
     let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
     let max_steps: u64 = args
@@ -325,5 +395,41 @@ fn main() -> ExitCode {
             eprintln!("e9tool {cmd}: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Args {
+        Args::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn check_flags_accepts_known_rejects_unknown() {
+        let args = parse(&["demo.elf", "-o", "out.e9", "--b0", "--granularity", "4"]);
+        assert!(args.check_flags(&["out", "b0", "granularity"]).is_ok());
+        let err = args.check_flags(&["out", "b0"]).unwrap_err();
+        assert!(err.contains("--granularity"), "{err}");
+        // Several unknowns are all listed, deterministically sorted.
+        let args = parse(&["x", "--zeta", "--alpha"]);
+        let err = args.check_flags(&[]).unwrap_err();
+        assert!(err.contains("--alpha, --zeta"), "{err}");
+    }
+
+    #[test]
+    fn typo_of_a_value_flag_is_rejected_not_ignored() {
+        // A user typing --granularty 4 must get an error, not a silent
+        // default-granularity rewrite.
+        let args = parse(&["demo.elf", "-o", "o.e9", "--granularty", "4"]);
+        assert!(args.check_flags(&["out", "granularity"]).is_err());
+    }
+
+    #[test]
+    fn backend_takes_a_value() {
+        let args = parse(&["demo.elf", "-o", "o.e9", "--backend", "/tmp/e9.sock"]);
+        assert_eq!(args.value("backend"), Some("/tmp/e9.sock"));
+        assert_eq!(args.positional, vec!["demo.elf".to_string()]);
     }
 }

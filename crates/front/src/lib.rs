@@ -110,6 +110,9 @@ pub enum FrontError {
     Input(String),
     /// Rewriting failed.
     Rewrite(e9patch::Error),
+    /// The external patch backend failed (protocol, transport, or an
+    /// in-band error reply).
+    Backend(String),
 }
 
 impl std::fmt::Display for FrontError {
@@ -117,6 +120,7 @@ impl std::fmt::Display for FrontError {
         match self {
             FrontError::Input(m) => write!(f, "bad input: {m}"),
             FrontError::Rewrite(e) => write!(f, "rewrite failed: {e}"),
+            FrontError::Backend(m) => write!(f, "backend failed: {m}"),
         }
     }
 }
@@ -126,6 +130,12 @@ impl std::error::Error for FrontError {}
 impl From<e9patch::Error> for FrontError {
     fn from(e: e9patch::Error) -> Self {
         FrontError::Rewrite(e)
+    }
+}
+
+impl From<e9proto::ClientError> for FrontError {
+    fn from(e: e9proto::ClientError) -> Self {
+        FrontError::Backend(e.to_string())
     }
 }
 
@@ -227,6 +237,29 @@ pub fn instrument(binary: &[u8], opts: &Options) -> Result<Instrumented, FrontEr
     instrument_with_disasm(binary, &disasm, opts)
 }
 
+/// The frontend's planning output: everything a rewriting backend needs
+/// besides the binary and disassembly themselves.
+///
+/// [`plan`] is shared by the in-process path ([`instrument_with_disasm`])
+/// and the protocol path ([`instrument_via_backend`]); feeding both the
+/// same plan is what makes their outputs byte-identical.
+#[derive(Debug)]
+pub struct Plan {
+    /// Selected patch-site addresses, in disassembly order.
+    pub sites: Vec<u64>,
+    /// One patch request per site.
+    pub requests: Vec<PatchRequest>,
+    /// Runtime segments the payload needs injected.
+    pub extra: Vec<ExtraSegment>,
+    /// Low-fat violation counter address, when [`Payload::LowFat`].
+    pub violations_addr: Option<u64>,
+    /// Execution counter address, when [`Payload::Counter`] /
+    /// [`Payload::CounterPerSite`].
+    pub counter_addr: Option<u64>,
+    /// Trace ring header address, when [`Payload::Trace`].
+    pub trace_addr: Option<u64>,
+}
+
 /// [`instrument`] with caller-provided disassembly info (e.g. from
 /// `e9synth`, which knows its exact code extent).
 ///
@@ -238,6 +271,24 @@ pub fn instrument_with_disasm(
     disasm: &[Insn],
     opts: &Options,
 ) -> Result<Instrumented, FrontError> {
+    let p = plan(binary, disasm, opts)?;
+    let rewrite = Rewriter::new(opts.config).rewrite(binary, disasm, &p.requests, &p.extra)?;
+    Ok(Instrumented {
+        rewrite,
+        sites: p.sites.len(),
+        violations_addr: p.violations_addr,
+        counter_addr: p.counter_addr,
+        trace_addr: p.trace_addr,
+    })
+}
+
+/// Select sites and build the payload runtime for `binary`, without
+/// running the rewrite.
+///
+/// # Errors
+///
+/// Fails on unparseable ELF input.
+pub fn plan(binary: &[u8], disasm: &[Insn], opts: &Options) -> Result<Plan, FrontError> {
     let elf = Elf::parse(binary).map_err(|e| FrontError::Input(e.to_string()))?;
     let sites = select_sites(disasm, opts.app);
 
@@ -339,13 +390,85 @@ pub fn instrument_with_disasm(
             .collect(),
     };
 
-    let rewrite = Rewriter::new(opts.config).rewrite(binary, disasm, &requests, &extra)?;
-    Ok(Instrumented {
-        rewrite,
-        sites: sites.len(),
+    Ok(Plan {
+        sites,
+        requests,
+        extra,
         violations_addr,
         counter_addr,
         trace_addr,
+    })
+}
+
+/// [`instrument_with_disasm`], but driving the rewrite through a protocol
+/// backend (the paper's frontend/backend split) instead of calling
+/// [`Rewriter`] in-process. The plan, wire round trip and server-side
+/// re-decode preserve every input bit, so the output is byte-identical to
+/// the in-process path for the same binary, options and seed.
+///
+/// # Errors
+///
+/// Planning errors, plus any transport or in-band backend failure.
+pub fn instrument_via_backend(
+    binary: &[u8],
+    disasm: &[Insn],
+    opts: &Options,
+    client: &mut e9proto::ProtoClient,
+) -> Result<Instrumented, FrontError> {
+    let p = plan(binary, disasm, opts)?;
+    client.negotiate()?;
+
+    let cfg = &opts.config;
+    let bool_str = |b: bool| if b { "true" } else { "false" };
+    client.option("t1", bool_str(cfg.tactics.t1))?;
+    client.option("t2", bool_str(cfg.tactics.t2))?;
+    client.option("t3", bool_str(cfg.tactics.t3))?;
+    client.option("b0", bool_str(cfg.b0_fallback))?;
+    client.option("grouping", bool_str(cfg.grouping))?;
+    client.option("granularity", &cfg.granularity.to_string())?;
+    client.option(
+        "alloc",
+        match cfg.alloc_policy {
+            e9patch::AllocPolicy::FirstFitLow => "low",
+            e9patch::AllocPolicy::FirstFitHigh => "high",
+        },
+    )?;
+
+    client.binary(binary)?;
+    for seg in &p.extra {
+        client.reserve(seg)?;
+    }
+    for i in disasm {
+        client.instruction(i.addr, i.bytes())?;
+    }
+    for r in &p.requests {
+        client.patch(r.addr, r.template.clone())?;
+    }
+    let reply = client.emit()?;
+
+    let rewrite = RewriteOutput {
+        binary: reply.binary,
+        stats: reply.stats,
+        size: reply.size,
+        loader_addr: reply.loader_addr,
+        trap_count: reply.trap_count as usize,
+        reports: reply.reports,
+        mappings: reply
+            .mappings
+            .iter()
+            .map(|m| e9patch::loader::Mapping {
+                vaddr: m.vaddr,
+                file_off: m.file_off,
+                len: m.len,
+            })
+            .collect(),
+    };
+    Ok(Instrumented {
+        rewrite,
+        sites: p.sites.len(),
+        violations_addr: p.violations_addr,
+        counter_addr: p.counter_addr,
+        trace_addr: p.trace_addr,
     })
 }
 
@@ -539,6 +662,24 @@ mod tests {
         assert_eq!(patched.exit_code, orig.exit_code);
         let v = vm.mem.read_le(out.violations_addr.unwrap(), 8).unwrap();
         assert_eq!(v, 0, "false-positive redzone violations");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn backend_path_matches_in_process() {
+        // The protocol round trip must not perturb the rewrite: same
+        // binary, same options → byte-identical output, stats and runtime
+        // addresses.
+        let sb = sample();
+        let opts = Options::new(Application::A1Jumps, Payload::Counter);
+        let direct = instrument_with_disasm(&sb.binary, &sb.disasm, &opts).unwrap();
+        let mut client = e9proto::ProtoClient::in_process().unwrap();
+        let via = instrument_via_backend(&sb.binary, &sb.disasm, &opts, &mut client).unwrap();
+        assert_eq!(via.rewrite.binary, direct.rewrite.binary);
+        assert_eq!(via.rewrite.stats, direct.rewrite.stats);
+        assert_eq!(via.rewrite.loader_addr, direct.rewrite.loader_addr);
+        assert_eq!(via.sites, direct.sites);
+        assert_eq!(via.counter_addr, direct.counter_addr);
     }
 
     #[test]

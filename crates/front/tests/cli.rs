@@ -128,6 +128,96 @@ fn usage_on_bad_invocations() {
 }
 
 #[test]
+fn unknown_flags_are_rejected() {
+    // A typo'd flag must fail loudly before any work happens, on every
+    // subcommand.
+    let out = e9tool()
+        .args(["patch", "in.elf", "-o", "out.e9", "--frobnicate"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --frobnicate"), "stderr: {err}");
+
+    let out = e9tool()
+        .args(["run", "in.elf", "--max-step", "5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --max-step"), "stderr: {err}");
+
+    let out = e9tool()
+        .args(["gen", "--tiny", "x", "--pei", "-o", "x.elf"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --pei"), "stderr: {err}");
+}
+
+#[cfg(unix)]
+#[test]
+fn patch_backend_socket_matches_in_process() {
+    let dir = tmpdir("backend");
+    let elf = dir.join("demo.elf");
+    let direct = dir.join("direct.e9");
+    let via = dir.join("via.e9");
+    let sock = dir.join("e9.sock");
+
+    assert!(e9tool()
+        .args(["gen", "--tiny", "cli-backend", "-o"])
+        .arg(&elf)
+        .env("E9_SEED", "42")
+        .status()
+        .unwrap()
+        .success());
+
+    // In-process reference output.
+    assert!(e9tool()
+        .arg("patch")
+        .arg(&elf)
+        .arg("-o")
+        .arg(&direct)
+        .args(["--app", "a1", "--payload", "counter"])
+        .status()
+        .unwrap()
+        .success());
+
+    // An in-thread daemon serving exactly one connection.
+    let server_sock = sock.clone();
+    let server = std::thread::spawn(move || {
+        e9proto::server::unix::serve_unix(&server_sock, Some(1)).unwrap();
+    });
+    for _ in 0..200 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(sock.exists(), "daemon socket never appeared");
+
+    let out = e9tool()
+        .arg("patch")
+        .arg(&elf)
+        .arg("-o")
+        .arg(&via)
+        .args(["--app", "a1", "--payload", "counter", "--backend"])
+        .arg(&sock)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "backend patch failed: {out:?}");
+    server.join().unwrap();
+
+    // The protocol round trip changes nothing: byte-identical outputs.
+    let a = std::fs::read(&direct).unwrap();
+    let b = std::fs::read(&via).unwrap();
+    assert_eq!(a, b, "backend output diverged from in-process output");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn profile_rows_are_generatable() {
     let dir = tmpdir("profiles");
     let elf = dir.join("mcf.elf");

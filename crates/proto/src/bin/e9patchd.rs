@@ -1,0 +1,83 @@
+//! `e9patchd` — the standalone patch-backend daemon.
+//!
+//! Serves the streaming JSON-RPC patch protocol (see the `e9proto` crate
+//! docs) so external frontends can drive the rewriter without linking it:
+//!
+//! ```console
+//! $ e9patchd --stdio                      # one session on stdin/stdout
+//! $ e9patchd --socket /tmp/e9.sock        # daemon: thread per connection
+//! $ e9patchd --socket /tmp/e9.sock --max-conns 1   # serve one job, exit
+//! ```
+//!
+//! A client `shutdown` command stops the daemon cleanly; `--max-conns N`
+//! exits after `N` connections (handy for CI smoke stages).
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "e9patchd — E9Patch backend daemon (protocol version {})
+
+USAGE:
+  e9patchd [--stdio]                        serve one session on stdio
+  e9patchd --socket PATH [--max-conns N]    serve a Unix socket",
+        e9proto::PROTOCOL_VERSION
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut socket: Option<String> = None;
+    let mut max_conns: Option<usize> = None;
+    let mut stdio = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--stdio" => {
+                stdio = true;
+                i += 1;
+            }
+            "--socket" if i + 1 < argv.len() => {
+                socket = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--max-conns" if i + 1 < argv.len() => {
+                match argv[i + 1].parse() {
+                    Ok(n) => max_conns = Some(n),
+                    Err(_) => return usage(),
+                }
+                i += 2;
+            }
+            _ => return usage(),
+        }
+    }
+    if stdio && socket.is_some() {
+        return usage();
+    }
+    let result = match socket {
+        #[cfg(unix)]
+        Some(path) => {
+            let path = std::path::PathBuf::from(path);
+            eprintln!(
+                "e9patchd: listening on {} (protocol version {})",
+                path.display(),
+                e9proto::PROTOCOL_VERSION
+            );
+            e9proto::server::unix::serve_unix(&path, max_conns)
+        }
+        #[cfg(not(unix))]
+        Some(_) => {
+            eprintln!("e9patchd: --socket is only supported on Unix");
+            return ExitCode::from(2);
+        }
+        None => e9proto::server::serve_stdio(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("e9patchd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Frontend-side protocol client.
+//!
+//! A [`ProtoClient`] owns one request/response byte stream to a patch
+//! backend and exposes the command set as typed calls. Three transports:
+//!
+//! * [`ProtoClient::spawn`] — launch an `e9patchd` child and talk over its
+//!   stdio (the `e9tool patch --backend stdio` path);
+//! * [`ProtoClient::connect_unix`] — connect to a daemon's Unix socket;
+//! * [`ProtoClient::in_process`] — a loopback server thread over a socket
+//!   pair. Full wire fidelity (every byte crosses the serializer, parser
+//!   and session state machine) without process management; used by tests
+//!   and benchmarks.
+
+use crate::json;
+use crate::msg::{Command, EmitReply, Request, Response, RpcError, PROTOCOL_VERSION};
+use e9patch::{ExtraSegment, Template};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::PathBuf;
+
+/// A client-side protocol failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport I/O failed.
+    Io(io::Error),
+    /// The server's bytes did not parse as protocol responses.
+    Protocol(String),
+    /// The server answered with an in-band error.
+    Rpc(RpcError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "backend i/o: {e}"),
+            ClientError::Protocol(m) => write!(f, "backend protocol: {m}"),
+            ClientError::Rpc(e) => write!(f, "backend: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<RpcError> for ClientError {
+    fn from(e: RpcError) -> Self {
+        ClientError::Rpc(e)
+    }
+}
+
+/// What a client is connected to (used for teardown).
+enum Transport {
+    /// A spawned `e9patchd` child process.
+    Child(std::process::Child),
+    /// A connected stream (socket) or loopback pair.
+    Stream,
+}
+
+/// A connection to a patch backend.
+pub struct ProtoClient {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+    transport: Transport,
+    next_id: u64,
+}
+
+impl ProtoClient {
+    /// Spawn `daemon` (an `e9patchd` binary) and connect over its stdio.
+    ///
+    /// # Errors
+    ///
+    /// Spawn failures.
+    pub fn spawn(daemon: &std::path::Path) -> Result<ProtoClient, ClientError> {
+        let mut child = std::process::Command::new(daemon)
+            .arg("--stdio")
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .map_err(|e| {
+                ClientError::Protocol(format!("cannot spawn {}: {e}", daemon.display()))
+            })?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        Ok(ProtoClient {
+            reader: BufReader::new(Box::new(stdout)),
+            writer: Box::new(stdin),
+            transport: Transport::Child(child),
+            next_id: 0,
+        })
+    }
+
+    /// Spawn the default daemon: `$E9PATCHD` if set, else an `e9patchd`
+    /// binary next to the current executable, else `e9patchd` on `PATH`.
+    ///
+    /// # Errors
+    ///
+    /// Spawn failures.
+    pub fn spawn_default() -> Result<ProtoClient, ClientError> {
+        ProtoClient::spawn(&default_daemon_path())
+    }
+
+    /// Connect to a daemon listening on a Unix socket.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &std::path::Path) -> Result<ProtoClient, ClientError> {
+        let stream = std::os::unix::net::UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        Ok(ProtoClient {
+            reader: BufReader::new(Box::new(stream)),
+            writer: Box::new(writer),
+            transport: Transport::Stream,
+            next_id: 0,
+        })
+    }
+
+    /// A loopback backend: a server thread on the far end of a socket
+    /// pair. The thread exits when the client drops (EOF on its stream).
+    ///
+    /// # Errors
+    ///
+    /// Socket-pair creation failures.
+    #[cfg(unix)]
+    pub fn in_process() -> Result<ProtoClient, ClientError> {
+        let (ours, theirs) = std::os::unix::net::UnixStream::pair()?;
+        std::thread::spawn(move || {
+            let mut writer = match theirs.try_clone() {
+                Ok(w) => w,
+                Err(_) => return,
+            };
+            let mut reader = BufReader::new(theirs);
+            let _ = crate::server::serve_connection(&mut reader, &mut writer);
+        });
+        let writer = ours.try_clone()?;
+        Ok(ProtoClient {
+            reader: BufReader::new(Box::new(ours)),
+            writer: Box::new(writer),
+            transport: Transport::Stream,
+            next_id: 0,
+        })
+    }
+
+    /// One request/response round trip.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, unparsable responses, id mismatches, or an
+    /// in-band [`RpcError`] from the server.
+    pub fn call(&mut self, cmd: Command) -> Result<json::Json, ClientError> {
+        self.next_id += 1;
+        let req = Request {
+            id: self.next_id,
+            cmd,
+        };
+        self.writer.write_all(req.encode().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol("backend closed the connection".into()));
+        }
+        let value = json::parse(line.trim().as_bytes())
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let resp = Response::decode(&value).map_err(ClientError::Protocol)?;
+        if resp.id != Some(req.id) {
+            return Err(ClientError::Protocol(format!(
+                "response id {:?} for request {}",
+                resp.id, req.id
+            )));
+        }
+        resp.body.map_err(ClientError::Rpc)
+    }
+
+    /// Negotiate the protocol version (must be the first call).
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtoClient::call`].
+    pub fn negotiate(&mut self) -> Result<(), ClientError> {
+        self.call(Command::Version {
+            version: PROTOCOL_VERSION,
+        })?;
+        Ok(())
+    }
+
+    /// Send the input binary.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtoClient::call`].
+    pub fn binary(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.call(Command::Binary {
+            bytes: bytes.to_vec(),
+        })?;
+        Ok(())
+    }
+
+    /// Set one rewriter option.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtoClient::call`].
+    pub fn option(&mut self, name: &str, value: &str) -> Result<(), ClientError> {
+        self.call(Command::Option {
+            name: name.to_string(),
+            value: value.to_string(),
+        })?;
+        Ok(())
+    }
+
+    /// Reserve an extra output segment.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtoClient::call`].
+    pub fn reserve(&mut self, seg: &ExtraSegment) -> Result<(), ClientError> {
+        self.call(Command::Reserve {
+            vaddr: seg.vaddr,
+            bytes: seg.bytes.clone(),
+            exec: seg.exec,
+            write: seg.write,
+        })?;
+        Ok(())
+    }
+
+    /// Declare one instruction of disassembly info.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtoClient::call`].
+    pub fn instruction(&mut self, addr: u64, bytes: &[u8]) -> Result<(), ClientError> {
+        self.call(Command::Instruction {
+            addr,
+            bytes: bytes.to_vec(),
+        })?;
+        Ok(())
+    }
+
+    /// Request a patch (buffered server-side until emit).
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtoClient::call`].
+    pub fn patch(&mut self, addr: u64, template: Template) -> Result<(), ClientError> {
+        self.call(Command::Patch { addr, template })?;
+        Ok(())
+    }
+
+    /// Run the rewrite and fetch the patched binary + statistics.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtoClient::call`], plus reply-decoding failures.
+    pub fn emit(&mut self) -> Result<EmitReply, ClientError> {
+        let v = self.call(Command::Emit)?;
+        EmitReply::from_json(&v).map_err(ClientError::Protocol)
+    }
+
+    /// Ask the backend to shut down.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtoClient::call`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.call(Command::Shutdown)?;
+        Ok(())
+    }
+}
+
+impl Drop for ProtoClient {
+    fn drop(&mut self) {
+        if let Transport::Child(child) = &mut self.transport {
+            // Closing stdin (dropping the writer would do it too, but we
+            // can't partially move out of self) lets the child exit on
+            // EOF; reap it so no zombie outlives the client.
+            let _ = self.writer.flush();
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Where `e9tool patch --backend stdio` finds the daemon: `$E9PATCHD`,
+/// else `e9patchd` next to the current executable, else `$PATH`.
+pub fn default_daemon_path() -> PathBuf {
+    if let Ok(p) = std::env::var("E9PATCHD") {
+        return PathBuf::from(p);
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        if let Some(dir) = exe.parent() {
+            let sibling = dir.join("e9patchd");
+            if sibling.exists() {
+                return sibling;
+            }
+        }
+    }
+    PathBuf::from("e9patchd")
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_process_loopback_negotiates_and_errors() {
+        let mut c = ProtoClient::in_process().unwrap();
+        c.negotiate().unwrap();
+        // State violation travels back as a typed error.
+        let err = c.patch(0x401000, Template::Empty).unwrap_err();
+        match err {
+            ClientError::Rpc(e) => assert_eq!(e.code, crate::msg::code::STATE),
+            other => panic!("expected rpc error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loopback_full_patch_job() {
+        let code = vec![
+            0x48, 0x89, 0x03, 0x48, 0x83, 0xC0, 0x20, 0xC3, //
+            0x0F, 0x1F, 0x44, 0x00, 0x00, 0x0F, 0x1F, 0x44, 0x00, 0x00,
+        ];
+        let mut b = e9elf::build::ElfBuilder::exec(0x400000);
+        b.text(code.clone(), 0x401000);
+        b.entry(0x401000);
+        let bin = b.build();
+        let disasm = e9x86::decode::linear_sweep(&code, 0x401000);
+
+        let mut c = ProtoClient::in_process().unwrap();
+        c.negotiate().unwrap();
+        c.binary(&bin).unwrap();
+        for i in &disasm {
+            c.instruction(i.addr, i.bytes()).unwrap();
+        }
+        c.patch(0x401000, Template::Empty).unwrap();
+        let reply = c.emit().unwrap();
+        assert_eq!(reply.stats.succeeded(), 1);
+        c.shutdown().unwrap();
+    }
+}

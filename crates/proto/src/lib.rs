@@ -1,0 +1,46 @@
+//! # e9proto — the streaming patch-command protocol and backend daemon
+//!
+//! The original E9Patch is two decoupled tools (paper §2, §6): an
+//! **`e9tool` frontend** that disassembles and decides *what* to patch, and
+//! an **`e9patch` backend** that owns the control-flow-agnostic rewriting
+//! and decides *how*. They communicate over a stream of JSON-RPC patch
+//! commands, which is what lets arbitrary frontends — different
+//! disassemblers, different languages — drive the same rewriter.
+//!
+//! This crate reproduces that interface for the Rust workspace:
+//!
+//! * [`json`] — a hand-rolled, hermetic JSON parser and canonical
+//!   serializer (u64-exact integers, depth-bounded, panic-free);
+//! * [`msg`] — the typed command set (`version`, `binary`, `option`,
+//!   `reserve`, `instruction`, `patch`, `emit`, `shutdown`), request and
+//!   response envelopes, and error codes;
+//! * [`session`] — the per-connection state machine that buffers commands
+//!   and feeds the in-process [`e9patch::Rewriter`] on `emit`, preserving
+//!   the paper's S1 reverse-order batch semantics;
+//! * [`server`] — the serve loop: stdio sessions and a Unix-socket daemon
+//!   with one thread per connection;
+//! * [`client`] — the frontend side, used by `e9tool patch --backend`.
+//!
+//! The `e9patchd` binary wraps [`server`] as a standalone daemon.
+//!
+//! ## Wire format
+//!
+//! One JSON object per `\n`-terminated line; requests carry
+//! `{"jsonrpc","id","method","params"}`, responses echo the id with either
+//! `result` or `error`. Binary payloads are lowercase hex strings. The
+//! serializer is canonical (no whitespace, insertion-ordered keys), so a
+//! session transcript — and therefore the emitted binary — is a pure
+//! function of the commands sent: the determinism gate extends across the
+//! process boundary.
+
+pub mod client;
+pub mod json;
+pub mod msg;
+pub mod server;
+pub mod session;
+
+pub use client::{ClientError, ProtoClient};
+pub use json::{Json, JsonError};
+pub use msg::{hex_decode, hex_encode, Command, EmitReply, Request, Response, RpcError,
+              PROTOCOL_VERSION};
+pub use session::Session;

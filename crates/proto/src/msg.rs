@@ -1,0 +1,827 @@
+//! Typed protocol messages: the paper's patch-command set as line-delimited
+//! JSON-RPC requests and responses.
+//!
+//! The original E9Patch frontend/backend split (§2, §6) streams commands —
+//! `binary`, `option`, `reserve`, `instruction`, `patch`, `emit` — from any
+//! frontend to the rewriter backend. This module defines the wire grammar:
+//!
+//! ```text
+//! request  := {"jsonrpc":"2.0","id":N,"method":M,"params":{...}} "\n"
+//! response := {"jsonrpc":"2.0","id":N,"result":{...}} "\n"
+//!           | {"jsonrpc":"2.0","id":N|null,"error":{"code":C,"message":S}} "\n"
+//! ```
+//!
+//! Binary payloads (ELF images, instruction bytes, extra-segment contents,
+//! replacement code) travel as lowercase hex strings. Addresses are JSON
+//! integers (the codec is `u64`-exact; see [`crate::json`]).
+//!
+//! Every message type round-trips `encode → parse → decode` losslessly and
+//! — because the serializer is canonical — byte-identically, which the
+//! `codec_props` suite checks for arbitrary messages.
+
+use crate::json::{obj, Json};
+use e9patch::{PatchStats, SiteReport, SizeStats, TacticKind, Template};
+use std::fmt;
+
+/// The protocol version this crate speaks. Negotiated by the mandatory
+/// leading `version` request; mismatches are rejected with
+/// [`code::VERSION`].
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// JSON-RPC and application error codes.
+pub mod code {
+    /// Malformed JSON (unparsable request line).
+    pub const PARSE: i64 = -32700;
+    /// Structurally invalid request envelope.
+    pub const INVALID_REQUEST: i64 = -32600;
+    /// Unknown method name.
+    pub const METHOD_NOT_FOUND: i64 = -32601;
+    /// Parameters missing or of the wrong type.
+    pub const INVALID_PARAMS: i64 = -32602;
+    /// Command arrived in the wrong session state (e.g. `patch` before
+    /// `binary`).
+    pub const STATE: i64 = -1;
+    /// The rewrite itself failed (duplicate patch, unknown instruction,
+    /// malformed ELF, ...).
+    pub const REWRITE: i64 = -2;
+    /// Unsupported protocol version.
+    pub const VERSION: i64 = -3;
+    /// Instruction bytes did not decode (or decoded to a different length).
+    pub const DECODE: i64 = -4;
+}
+
+/// Lowercase hex encoding for binary payloads.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Inverse of [`hex_encode`]; accepts upper- and lowercase digits.
+///
+/// # Errors
+///
+/// Odd length or non-hex characters.
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if s.len() % 2 != 0 {
+        return Err(format!("odd hex length {}", s.len()));
+    }
+    let bytes = s.as_bytes();
+    let nib = |b: u8| -> Result<u8, String> {
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            _ => Err(format!("bad hex byte {b:#04x}")),
+        }
+    };
+    (0..s.len() / 2)
+        .map(|i| Ok((nib(bytes[2 * i])? << 4) | nib(bytes[2 * i + 1])?))
+        .collect()
+}
+
+/// One patch-protocol command (the `method` + `params` of a request).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Protocol-version negotiation; must be the session's first command.
+    Version {
+        /// Version the client speaks.
+        version: u64,
+    },
+    /// Deliver the input binary image.
+    Binary {
+        /// Raw ELF bytes.
+        bytes: Vec<u8>,
+    },
+    /// Set one rewriter option (`t1`/`t2`/`t3`/`b0`/`grouping` =
+    /// `true|false`, `granularity` = integer ≥ 1, `alloc` = `low|high`).
+    Option {
+        /// Option name.
+        name: String,
+        /// Option value, as text.
+        value: String,
+    },
+    /// Reserve an address range with contents (an instrumentation-runtime
+    /// segment the frontend wants in the output).
+    Reserve {
+        /// Virtual load address.
+        vaddr: u64,
+        /// Segment contents.
+        bytes: Vec<u8>,
+        /// Executable?
+        exec: bool,
+        /// Writable?
+        write: bool,
+    },
+    /// Declare one instruction of disassembly info (address + raw bytes;
+    /// the backend re-decodes — locations and sizes are a tool *input*,
+    /// paper §2.2).
+    Instruction {
+        /// Instruction address.
+        addr: u64,
+        /// The instruction's exact bytes.
+        bytes: Vec<u8>,
+    },
+    /// Request a patch at `addr`. Buffered server-side until `emit` so the
+    /// planner sees the whole batch and S1 reverse-order semantics hold.
+    Patch {
+        /// Patch-location address (must match a declared instruction).
+        addr: u64,
+        /// Trampoline payload.
+        template: Template,
+    },
+    /// Run the rewrite over everything buffered and return the patched
+    /// binary plus statistics.
+    Emit,
+    /// Ask the server to stop accepting connections (daemon) or end the
+    /// session (stdio).
+    Shutdown,
+}
+
+impl Command {
+    /// The wire method name.
+    pub fn method(&self) -> &'static str {
+        match self {
+            Command::Version { .. } => "version",
+            Command::Binary { .. } => "binary",
+            Command::Option { .. } => "option",
+            Command::Reserve { .. } => "reserve",
+            Command::Instruction { .. } => "instruction",
+            Command::Patch { .. } => "patch",
+            Command::Emit => "emit",
+            Command::Shutdown => "shutdown",
+        }
+    }
+
+    fn params(&self) -> Json {
+        match self {
+            Command::Version { version } => obj(vec![("version", Json::Int(*version as i128))]),
+            Command::Binary { bytes } => obj(vec![("bytes", Json::Str(hex_encode(bytes)))]),
+            Command::Option { name, value } => obj(vec![
+                ("name", Json::Str(name.clone())),
+                ("value", Json::Str(value.clone())),
+            ]),
+            Command::Reserve {
+                vaddr,
+                bytes,
+                exec,
+                write,
+            } => obj(vec![
+                ("vaddr", Json::Int(*vaddr as i128)),
+                ("bytes", Json::Str(hex_encode(bytes))),
+                ("exec", Json::Bool(*exec)),
+                ("write", Json::Bool(*write)),
+            ]),
+            Command::Instruction { addr, bytes } => obj(vec![
+                ("addr", Json::Int(*addr as i128)),
+                ("bytes", Json::Str(hex_encode(bytes))),
+            ]),
+            Command::Patch { addr, template } => obj(vec![
+                ("addr", Json::Int(*addr as i128)),
+                ("template", template_to_json(template)),
+            ]),
+            Command::Emit | Command::Shutdown => Json::Obj(Vec::new()),
+        }
+    }
+}
+
+/// Trampoline templates on the wire: `{"kind":K, ...}`.
+fn template_to_json(t: &Template) -> Json {
+    match t {
+        Template::Empty => obj(vec![("kind", Json::Str("empty".into()))]),
+        Template::Counter { counter_addr } => obj(vec![
+            ("kind", Json::Str("counter".into())),
+            ("counter_addr", Json::Int(*counter_addr as i128)),
+        ]),
+        Template::CheckCall { func_addr } => obj(vec![
+            ("kind", Json::Str("checkcall".into())),
+            ("func_addr", Json::Int(*func_addr as i128)),
+        ]),
+        Template::HookCall { func_addr } => obj(vec![
+            ("kind", Json::Str("hookcall".into())),
+            ("func_addr", Json::Int(*func_addr as i128)),
+        ]),
+        Template::Replace { code, resume } => obj(vec![
+            ("kind", Json::Str("replace".into())),
+            ("code", Json::Str(hex_encode(code))),
+            (
+                "resume",
+                match resume {
+                    Some(a) => Json::Int(*a as i128),
+                    None => Json::Null,
+                },
+            ),
+        ]),
+    }
+}
+
+fn template_from_json(v: &Json) -> Result<Template, RpcError> {
+    let bad = |m: &str| RpcError::invalid_params(format!("template: {m}"));
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing kind"))?;
+    let addr_field = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad(&format!("missing {name}")))
+    };
+    match kind {
+        "empty" => Ok(Template::Empty),
+        "counter" => Ok(Template::Counter {
+            counter_addr: addr_field("counter_addr")?,
+        }),
+        "checkcall" => Ok(Template::CheckCall {
+            func_addr: addr_field("func_addr")?,
+        }),
+        "hookcall" => Ok(Template::HookCall {
+            func_addr: addr_field("func_addr")?,
+        }),
+        "replace" => {
+            let code = v
+                .get("code")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("missing code"))
+                .and_then(|s| hex_decode(s).map_err(|e| bad(&e)))?;
+            let resume = match v.get("resume") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(j.as_u64().ok_or_else(|| bad("bad resume"))?),
+            };
+            Ok(Template::Replace { code, resume })
+        }
+        other => Err(bad(&format!("unknown kind {other:?}"))),
+    }
+}
+
+/// A request envelope: an id plus a [`Command`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen id, echoed in the response.
+    pub id: u64,
+    /// The command.
+    pub cmd: Command,
+}
+
+impl Request {
+    /// Serialize to one canonical JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        obj(vec![
+            ("jsonrpc", Json::Str("2.0".into())),
+            ("id", Json::Int(self.id as i128)),
+            ("method", Json::Str(self.cmd.method().into())),
+            ("params", self.cmd.params()),
+        ])
+        .serialize()
+    }
+
+    /// Decode a parsed JSON value into a typed request.
+    ///
+    /// # Errors
+    ///
+    /// [`code::INVALID_REQUEST`] for a broken envelope,
+    /// [`code::METHOD_NOT_FOUND`] for an unknown method and
+    /// [`code::INVALID_PARAMS`] for missing or mistyped parameters.
+    pub fn decode(v: &Json) -> Result<Request, RpcError> {
+        let id = v
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| RpcError::new(code::INVALID_REQUEST, "missing integer id"))?;
+        let method = v
+            .get("method")
+            .and_then(Json::as_str)
+            .ok_or_else(|| RpcError::new(code::INVALID_REQUEST, "missing method"))?;
+        let empty = Json::Obj(Vec::new());
+        let p = v.get("params").unwrap_or(&empty);
+        let missing = |name: &str| RpcError::invalid_params(format!("missing {name}"));
+        let hex_field = |name: &str| -> Result<Vec<u8>, RpcError> {
+            p.get(name)
+                .and_then(Json::as_str)
+                .ok_or_else(|| missing(name))
+                .and_then(|s| hex_decode(s).map_err(RpcError::invalid_params))
+        };
+        let u64_field = |name: &str| p.get(name).and_then(Json::as_u64).ok_or_else(|| missing(name));
+        let bool_field = |name: &str| p.get(name).and_then(Json::as_bool).ok_or_else(|| missing(name));
+        let cmd = match method {
+            "version" => Command::Version {
+                version: u64_field("version")?,
+            },
+            "binary" => Command::Binary {
+                bytes: hex_field("bytes")?,
+            },
+            "option" => Command::Option {
+                name: p
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| missing("name"))?
+                    .to_string(),
+                value: p
+                    .get("value")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| missing("value"))?
+                    .to_string(),
+            },
+            "reserve" => Command::Reserve {
+                vaddr: u64_field("vaddr")?,
+                bytes: hex_field("bytes")?,
+                exec: bool_field("exec")?,
+                write: bool_field("write")?,
+            },
+            "instruction" => Command::Instruction {
+                addr: u64_field("addr")?,
+                bytes: hex_field("bytes")?,
+            },
+            "patch" => Command::Patch {
+                addr: u64_field("addr")?,
+                template: template_from_json(
+                    p.get("template").ok_or_else(|| missing("template"))?,
+                )?,
+            },
+            "emit" => Command::Emit,
+            "shutdown" => Command::Shutdown,
+            other => {
+                return Err(RpcError::new(
+                    code::METHOD_NOT_FOUND,
+                    format!("unknown method {other:?}"),
+                ))
+            }
+        };
+        Ok(Request { id, cmd })
+    }
+}
+
+/// A protocol-level error (the `error` member of a response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcError {
+    /// One of the [`code`] constants.
+    pub code: i64,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl RpcError {
+    /// An error with `code` and `message`.
+    pub fn new<S: Into<String>>(code: i64, message: S) -> RpcError {
+        RpcError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// An [`code::INVALID_PARAMS`] error.
+    pub fn invalid_params<S: Into<String>>(message: S) -> RpcError {
+        RpcError::new(code::INVALID_PARAMS, message)
+    }
+
+    /// An [`code::STATE`] error.
+    pub fn state<S: Into<String>>(message: S) -> RpcError {
+        RpcError::new(code::STATE, message)
+    }
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rpc error {}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// A response envelope: the echoed id plus result-or-error.
+///
+/// `id` is `None` when the request line could not be parsed at all
+/// (JSON-RPC's `"id":null` convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echo of the request id; `None` → `null` (parse errors).
+    pub id: Option<u64>,
+    /// Result payload or error.
+    pub body: Result<Json, RpcError>,
+}
+
+impl Response {
+    /// A success response.
+    pub fn ok(id: u64, result: Json) -> Response {
+        Response {
+            id: Some(id),
+            body: Ok(result),
+        }
+    }
+
+    /// An error response.
+    pub fn err(id: Option<u64>, e: RpcError) -> Response {
+        Response { id, body: Err(e) }
+    }
+
+    /// Serialize to one canonical JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let id = match self.id {
+            Some(n) => Json::Int(n as i128),
+            None => Json::Null,
+        };
+        let mut members = vec![("jsonrpc", Json::Str("2.0".into())), ("id", id)];
+        match &self.body {
+            Ok(result) => members.push(("result", result.clone())),
+            Err(e) => members.push((
+                "error",
+                obj(vec![
+                    ("code", Json::Int(e.code as i128)),
+                    ("message", Json::Str(e.message.clone())),
+                ]),
+            )),
+        }
+        obj(members).serialize()
+    }
+
+    /// Decode a parsed JSON value into a typed response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a string description when the envelope is malformed.
+    pub fn decode(v: &Json) -> Result<Response, String> {
+        let id = match v.get("id") {
+            Some(Json::Null) | None => None,
+            Some(j) => Some(j.as_u64().ok_or("non-integer response id")?),
+        };
+        if let Some(e) = v.get("error") {
+            let code = match e.get("code") {
+                Some(Json::Int(c)) => *c as i64,
+                _ => return Err("error without integer code".into()),
+            };
+            let message = e
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string();
+            return Ok(Response {
+                id,
+                body: Err(RpcError { code, message }),
+            });
+        }
+        let result = v.get("result").ok_or("response with neither result nor error")?;
+        Ok(Response {
+            id,
+            body: Ok(result.clone()),
+        })
+    }
+}
+
+// ---- typed emit reply ---------------------------------------------------
+
+/// One loader mapping in an [`EmitReply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireMapping {
+    /// Virtual destination address.
+    pub vaddr: u64,
+    /// File offset of the merged physical block.
+    pub file_off: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// The fully-typed payload of a successful `emit` response: the patched
+/// binary plus everything [`e9patch::RewriteOutput`] reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmitReply {
+    /// The patched output binary.
+    pub binary: Vec<u8>,
+    /// Tactic outcome counters.
+    pub stats: PatchStats,
+    /// File-size / mapping statistics.
+    pub size: SizeStats,
+    /// Virtual address of the injected loader.
+    pub loader_addr: u64,
+    /// Number of B0 trap registrations.
+    pub trap_count: u64,
+    /// Per-site outcome reports, in processing order.
+    pub reports: Vec<SiteReport>,
+    /// The loader's mapping table.
+    pub mappings: Vec<WireMapping>,
+}
+
+fn tactic_name(t: TacticKind) -> &'static str {
+    match t {
+        TacticKind::B0 => "B0",
+        TacticKind::B1 => "B1",
+        TacticKind::B2 => "B2",
+        TacticKind::T1 => "T1",
+        TacticKind::T2 => "T2",
+        TacticKind::T3 => "T3",
+    }
+}
+
+fn tactic_from_name(s: &str) -> Option<TacticKind> {
+    Some(match s {
+        "B0" => TacticKind::B0,
+        "B1" => TacticKind::B1,
+        "B2" => TacticKind::B2,
+        "T1" => TacticKind::T1,
+        "T2" => TacticKind::T2,
+        "T3" => TacticKind::T3,
+        _ => return None,
+    })
+}
+
+fn opt_u64(v: Option<u64>) -> Json {
+    match v {
+        Some(n) => Json::Int(n as i128),
+        None => Json::Null,
+    }
+}
+
+impl EmitReply {
+    /// Serialize to the `result` object of an `emit` response.
+    pub fn to_json(&self) -> Json {
+        let s = &self.stats;
+        let z = &self.size;
+        obj(vec![
+            ("binary", Json::Str(hex_encode(&self.binary))),
+            (
+                "stats",
+                obj(vec![
+                    ("b1", Json::Int(s.b1 as i128)),
+                    ("b2", Json::Int(s.b2 as i128)),
+                    ("t1", Json::Int(s.t1 as i128)),
+                    ("t2", Json::Int(s.t2 as i128)),
+                    ("t3", Json::Int(s.t3 as i128)),
+                    ("b0", Json::Int(s.b0 as i128)),
+                    ("failed", Json::Int(s.failed as i128)),
+                ]),
+            ),
+            (
+                "size",
+                obj(vec![
+                    ("input_bytes", Json::Int(z.input_bytes as i128)),
+                    ("output_bytes", Json::Int(z.output_bytes as i128)),
+                    ("virtual_blocks", Json::Int(z.virtual_blocks as i128)),
+                    ("physical_blocks", Json::Int(z.physical_blocks as i128)),
+                    ("mappings", Json::Int(z.mappings as i128)),
+                    ("granularity", Json::Int(z.granularity as i128)),
+                ]),
+            ),
+            ("loader_addr", Json::Int(self.loader_addr as i128)),
+            ("trap_count", Json::Int(self.trap_count as i128)),
+            (
+                "reports",
+                Json::Arr(
+                    self.reports
+                        .iter()
+                        .map(|r| {
+                            obj(vec![
+                                ("addr", Json::Int(r.addr as i128)),
+                                ("insn_len", Json::Int(r.insn_len as i128)),
+                                (
+                                    "tactic",
+                                    match r.tactic {
+                                        Some(t) => Json::Str(tactic_name(t).into()),
+                                        None => Json::Null,
+                                    },
+                                ),
+                                ("trampoline", opt_u64(r.trampoline)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "mappings",
+                Json::Arr(
+                    self.mappings
+                        .iter()
+                        .map(|m| {
+                            obj(vec![
+                                ("vaddr", Json::Int(m.vaddr as i128)),
+                                ("file_off", Json::Int(m.file_off as i128)),
+                                ("len", Json::Int(m.len as i128)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decode the `result` object of an `emit` response.
+    ///
+    /// # Errors
+    ///
+    /// A string description of the first malformed field.
+    pub fn from_json(v: &Json) -> Result<EmitReply, String> {
+        let u = |o: &Json, name: &str| -> Result<u64, String> {
+            o.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("emit reply: missing {name}"))
+        };
+        let binary = v
+            .get("binary")
+            .and_then(Json::as_str)
+            .ok_or("emit reply: missing binary")
+            .map_err(String::from)
+            .and_then(|s| hex_decode(s))?;
+        let s = v.get("stats").ok_or("emit reply: missing stats")?;
+        let stats = PatchStats {
+            b1: u(s, "b1")? as usize,
+            b2: u(s, "b2")? as usize,
+            t1: u(s, "t1")? as usize,
+            t2: u(s, "t2")? as usize,
+            t3: u(s, "t3")? as usize,
+            b0: u(s, "b0")? as usize,
+            failed: u(s, "failed")? as usize,
+        };
+        let z = v.get("size").ok_or("emit reply: missing size")?;
+        let size = SizeStats {
+            input_bytes: u(z, "input_bytes")?,
+            output_bytes: u(z, "output_bytes")?,
+            virtual_blocks: u(z, "virtual_blocks")?,
+            physical_blocks: u(z, "physical_blocks")?,
+            mappings: u(z, "mappings")?,
+            granularity: u(z, "granularity")?,
+        };
+        let mut reports = Vec::new();
+        for r in v
+            .get("reports")
+            .and_then(Json::as_arr)
+            .ok_or("emit reply: missing reports")?
+        {
+            let tactic = match r.get("tactic") {
+                Some(Json::Str(name)) => Some(
+                    tactic_from_name(name).ok_or_else(|| format!("bad tactic {name:?}"))?,
+                ),
+                Some(Json::Null) | None => None,
+                Some(_) => return Err("bad tactic field".into()),
+            };
+            let trampoline = match r.get("trampoline") {
+                Some(Json::Null) | None => None,
+                Some(j) => Some(j.as_u64().ok_or("bad trampoline field")?),
+            };
+            reports.push(SiteReport {
+                addr: u(r, "addr")?,
+                insn_len: u(r, "insn_len")? as u8,
+                tactic,
+                trampoline,
+            });
+        }
+        let mut mappings = Vec::new();
+        for m in v
+            .get("mappings")
+            .and_then(Json::as_arr)
+            .ok_or("emit reply: missing mappings")?
+        {
+            mappings.push(WireMapping {
+                vaddr: u(m, "vaddr")?,
+                file_off: u(m, "file_off")?,
+                len: u(m, "len")?,
+            });
+        }
+        Ok(EmitReply {
+            binary,
+            stats,
+            size,
+            loader_addr: u(v, "loader_addr")?,
+            trap_count: u(v, "trap_count")?,
+            reports,
+            mappings,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = [0x00u8, 0x7f, 0x80, 0xff, 0xde, 0xad];
+        assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+        assert_eq!(hex_decode("DEADbeef").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+
+    #[test]
+    fn request_roundtrip_all_methods() {
+        let cmds = vec![
+            Command::Version { version: 1 },
+            Command::Binary {
+                bytes: vec![0x7f, b'E', b'L', b'F'],
+            },
+            Command::Option {
+                name: "granularity".into(),
+                value: "8".into(),
+            },
+            Command::Reserve {
+                vaddr: 0x3000_0000,
+                bytes: vec![0; 16],
+                exec: false,
+                write: true,
+            },
+            Command::Instruction {
+                addr: u64::MAX - 4096,
+                bytes: vec![0x48, 0x89, 0x03],
+            },
+            Command::Patch {
+                addr: 0x401000,
+                template: Template::Counter {
+                    counter_addr: 0x30000000,
+                },
+            },
+            Command::Patch {
+                addr: 0x401003,
+                template: Template::Replace {
+                    code: vec![0x90, 0x90],
+                    resume: Some(0x401010),
+                },
+            },
+            Command::Emit,
+            Command::Shutdown,
+        ];
+        for (i, cmd) in cmds.into_iter().enumerate() {
+            let req = Request { id: i as u64, cmd };
+            let line = req.encode();
+            let back = Request::decode(&parse(line.as_bytes()).unwrap()).unwrap();
+            assert_eq!(back, req);
+            assert_eq!(back.encode(), line, "canonical encoding must be stable");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in [
+            Response::ok(7, obj(vec![("version", Json::Int(1))])),
+            Response::err(Some(9), RpcError::state("binary not loaded")),
+            Response::err(None, RpcError::new(code::PARSE, "bad json")),
+        ] {
+            let line = resp.encode();
+            let back = Response::decode(&parse(line.as_bytes()).unwrap()).unwrap();
+            assert_eq!(back, resp);
+            assert_eq!(back.encode(), line);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_envelopes() {
+        let bad = |s: &str| Request::decode(&parse(s.as_bytes()).unwrap()).unwrap_err();
+        assert_eq!(bad(r#"{"method":"emit"}"#).code, code::INVALID_REQUEST);
+        assert_eq!(bad(r#"{"id":1}"#).code, code::INVALID_REQUEST);
+        assert_eq!(bad(r#"{"id":1,"method":"nope"}"#).code, code::METHOD_NOT_FOUND);
+        assert_eq!(
+            bad(r#"{"id":1,"method":"patch","params":{}}"#).code,
+            code::INVALID_PARAMS
+        );
+        assert_eq!(
+            bad(r#"{"id":1,"method":"binary","params":{"bytes":"xyz"}}"#).code,
+            code::INVALID_PARAMS
+        );
+    }
+
+    #[test]
+    fn emit_reply_roundtrip() {
+        let reply = EmitReply {
+            binary: vec![1, 2, 3, 4, 5],
+            stats: PatchStats {
+                b1: 1,
+                b2: 2,
+                t1: 3,
+                t2: 0,
+                t3: 1,
+                b0: 0,
+                failed: 1,
+            },
+            size: SizeStats {
+                input_bytes: 4096,
+                output_bytes: 8192,
+                virtual_blocks: 3,
+                physical_blocks: 1,
+                mappings: 3,
+                granularity: 1,
+            },
+            loader_addr: 0x7000_0000,
+            trap_count: 0,
+            reports: vec![
+                SiteReport {
+                    addr: 0x401000,
+                    insn_len: 3,
+                    tactic: Some(TacticKind::T2),
+                    trampoline: Some(0x68000000),
+                },
+                SiteReport {
+                    addr: 0x401003,
+                    insn_len: 4,
+                    tactic: None,
+                    trampoline: None,
+                },
+            ],
+            mappings: vec![WireMapping {
+                vaddr: 0x68000000,
+                file_off: 0x2000,
+                len: 4096,
+            }],
+        };
+        let v = reply.to_json();
+        let text = v.serialize();
+        let back = EmitReply::from_json(&parse(text.as_bytes()).unwrap()).unwrap();
+        assert_eq!(back, reply);
+    }
+}

@@ -1,0 +1,271 @@
+//! The server loop: line-delimited JSON-RPC sessions over arbitrary byte
+//! streams, stdio, and a Unix-domain socket (one thread per connection).
+//!
+//! Each connection gets its own [`Session`]; a `shutdown` command ends the
+//! connection and — for the socket server — stops the accept loop, so a
+//! client can bring the daemon down cleanly. [`serve_unix`] also accepts a
+//! connection budget (`max_conns`) for run-one-job-and-exit uses such as
+//! CI smoke stages.
+
+use crate::json;
+use crate::msg::{code, Request, Response, RpcError};
+use crate::session::Session;
+use std::io::{self, BufRead, BufReader, Write};
+
+/// Serve one session: read request lines from `reader`, write response
+/// lines to `writer`, until EOF or `shutdown`.
+///
+/// Returns `true` if the session ended because of a `shutdown` command.
+///
+/// # Errors
+///
+/// Only transport-level I/O failures; protocol errors are reported to the
+/// client in-band and never tear down the loop.
+pub fn serve_connection<R: BufRead, W: Write>(reader: &mut R, writer: &mut W) -> io::Result<bool> {
+    let mut session = Session::new();
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        if reader.read_until(b'\n', &mut line)? == 0 {
+            return Ok(false); // EOF
+        }
+        if line.iter().all(|b| b.is_ascii_whitespace()) {
+            continue;
+        }
+        let response = dispatch_line(&mut session, &line);
+        writer.write_all(response.encode().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if session.shutdown_requested() {
+            return Ok(true);
+        }
+    }
+}
+
+/// Parse and execute one raw request line against `session`.
+///
+/// This is the protocol's single choke point: malformed JSON becomes a
+/// [`code::PARSE`] error with a `null` id, a bad envelope or unknown
+/// method keeps its id when one is recoverable, and session errors are
+/// forwarded verbatim.
+pub fn dispatch_line(session: &mut Session, line: &[u8]) -> Response {
+    let value = match json::parse(trim_ascii(line)) {
+        Ok(v) => v,
+        Err(e) => {
+            return Response::err(None, RpcError::new(code::PARSE, e.to_string()));
+        }
+    };
+    match Request::decode(&value) {
+        Ok(req) => {
+            let body = session.handle(req.cmd);
+            Response { id: Some(req.id), body }
+        }
+        Err(e) => {
+            // Salvage the id when the envelope carried one.
+            let id = value.get("id").and_then(json::Json::as_u64);
+            Response::err(id, e)
+        }
+    }
+}
+
+fn trim_ascii(mut b: &[u8]) -> &[u8] {
+    while let [rest @ .., last] = b {
+        if last.is_ascii_whitespace() {
+            b = rest;
+        } else {
+            break;
+        }
+    }
+    while let [first, rest @ ..] = b {
+        if first.is_ascii_whitespace() {
+            b = rest;
+        } else {
+            break;
+        }
+    }
+    b
+}
+
+/// Serve one session over the process's stdin/stdout (the `e9patchd`
+/// default mode: the client owns the process and its pipes).
+///
+/// # Errors
+///
+/// Transport-level I/O failures.
+pub fn serve_stdio() -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut reader = stdin.lock();
+    let mut writer = stdout.lock();
+    serve_connection(&mut reader, &mut writer)?;
+    Ok(())
+}
+
+/// Unix-domain socket server: accept loop with one thread per connection.
+#[cfg(unix)]
+pub mod unix {
+    use super::*;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    /// Bind `path` and serve until a client sends `shutdown` or `max_conns`
+    /// connections have been accepted (`None` = unlimited). The socket file
+    /// is replaced on bind and removed on exit.
+    ///
+    /// # Errors
+    ///
+    /// Bind/accept failures. Per-connection I/O errors only end that
+    /// connection.
+    pub fn serve_unix(path: &Path, max_conns: Option<usize>) -> io::Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let sockpath: PathBuf = path.to_path_buf();
+        let mut handles = Vec::new();
+        let mut accepted = 0usize;
+        while !stop.load(Ordering::SeqCst) {
+            let (stream, _) = listener.accept()?;
+            if stop.load(Ordering::SeqCst) {
+                break; // the wake-up connection after a shutdown
+            }
+            accepted += 1;
+            let stop = Arc::clone(&stop);
+            let wake = sockpath.clone();
+            handles.push(std::thread::spawn(move || {
+                if let Ok(true) = handle_stream(stream) {
+                    stop.store(true, Ordering::SeqCst);
+                    // Unblock the accept loop so it can observe the flag.
+                    let _ = UnixStream::connect(&wake);
+                }
+            }));
+            if let Some(max) = max_conns {
+                if accepted >= max {
+                    break;
+                }
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&sockpath);
+        Ok(())
+    }
+
+    fn handle_stream(stream: UnixStream) -> io::Result<bool> {
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        serve_connection(&mut reader, &mut writer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{Command, EmitReply};
+
+    fn run_lines(input: &str) -> Vec<Response> {
+        let mut reader = io::Cursor::new(input.as_bytes().to_vec());
+        let mut out: Vec<u8> = Vec::new();
+        serve_connection(&mut reader, &mut out).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Response::decode(&json::parse(l.as_bytes()).unwrap()).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn parse_errors_get_null_id_and_continue() {
+        let responses = run_lines(
+            "this is not json\n\
+             {\"jsonrpc\":\"2.0\",\"id\":3,\"method\":\"version\",\"params\":{\"version\":1}}\n",
+        );
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].id, None);
+        assert_eq!(responses[0].body.as_ref().unwrap_err().code, code::PARSE);
+        assert_eq!(responses[1].id, Some(3));
+        assert!(responses[1].body.is_ok());
+    }
+
+    #[test]
+    fn unknown_method_keeps_its_id() {
+        let responses = run_lines("{\"jsonrpc\":\"2.0\",\"id\":9,\"method\":\"frobnicate\"}\n");
+        assert_eq!(responses[0].id, Some(9));
+        assert_eq!(
+            responses[0].body.as_ref().unwrap_err().code,
+            code::METHOD_NOT_FOUND
+        );
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let responses = run_lines(
+            "\n  \n{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"version\",\"params\":{\"version\":1}}\n\n",
+        );
+        assert_eq!(responses.len(), 1);
+    }
+
+    #[test]
+    fn shutdown_ends_the_connection() {
+        let input = "\
+            {\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"version\",\"params\":{\"version\":1}}\n\
+            {\"jsonrpc\":\"2.0\",\"id\":2,\"method\":\"shutdown\",\"params\":{}}\n\
+            {\"jsonrpc\":\"2.0\",\"id\":3,\"method\":\"emit\",\"params\":{}}\n";
+        let mut reader = io::Cursor::new(input.as_bytes().to_vec());
+        let mut out: Vec<u8> = Vec::new();
+        let shut = serve_connection(&mut reader, &mut out).unwrap();
+        assert!(shut);
+        // The post-shutdown request was never processed.
+        assert_eq!(String::from_utf8(out).unwrap().lines().count(), 2);
+    }
+
+    #[test]
+    fn full_wire_session_round_trips() {
+        // Drive a complete patch job purely through the byte-stream
+        // interface and check the reply decodes.
+        let code_bytes = vec![
+            0x48, 0x89, 0x03, 0x48, 0x83, 0xC0, 0x20, 0xC3, //
+            0x0F, 0x1F, 0x44, 0x00, 0x00, 0x0F, 0x1F, 0x44, 0x00, 0x00,
+        ];
+        let mut b = e9elf::build::ElfBuilder::exec(0x400000);
+        b.text(code_bytes.clone(), 0x401000);
+        b.entry(0x401000);
+        let bin = b.build();
+        let disasm = e9x86::decode::linear_sweep(&code_bytes, 0x401000);
+
+        let mut input = String::new();
+        let mut id = 0u64;
+        let mut push = |cmd: Command, input: &mut String| {
+            id += 1;
+            input.push_str(&Request { id, cmd }.encode());
+            input.push('\n');
+        };
+        push(Command::Version { version: 1 }, &mut input);
+        push(Command::Binary { bytes: bin }, &mut input);
+        for i in &disasm {
+            push(
+                Command::Instruction {
+                    addr: i.addr,
+                    bytes: i.bytes().to_vec(),
+                },
+                &mut input,
+            );
+        }
+        push(
+            Command::Patch {
+                addr: 0x401000,
+                template: e9patch::Template::Empty,
+            },
+            &mut input,
+        );
+        push(Command::Emit, &mut input);
+
+        let responses = run_lines(&input);
+        let last = responses.last().unwrap();
+        let reply = EmitReply::from_json(last.body.as_ref().unwrap()).unwrap();
+        assert_eq!(reply.stats.succeeded(), 1);
+        assert!(reply.binary.len() > 0x1000);
+    }
+}

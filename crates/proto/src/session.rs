@@ -1,0 +1,398 @@
+//! The per-connection session state machine.
+//!
+//! A session accumulates the inputs of one rewriting run — binary, options,
+//! reserved segments, disassembly info, patch requests — and hands them to
+//! the in-process [`e9patch::Rewriter`] on `emit`. Buffering `patch`
+//! commands until `emit` is what preserves the paper's S1 semantics: the
+//! planner always sees the complete batch and processes it in reverse
+//! address order, so a streaming frontend cannot perturb tactic selection
+//! by message timing.
+//!
+//! State ordering enforced (violations are [`code::STATE`] errors):
+//!
+//! ```text
+//! version → binary → {option|reserve|instruction|patch}* → emit
+//! ```
+//!
+//! `option` and `reserve` are also legal between `version` and `binary`.
+//! After `emit` the session stays usable — more patches or option changes
+//! followed by another `emit` re-run the rewrite over the full batch.
+
+use crate::msg::{code, Command, EmitReply, RpcError, WireMapping, PROTOCOL_VERSION};
+use crate::json::{obj, Json};
+use e9patch::planner::AllocPolicy;
+use e9patch::{ExtraSegment, PatchRequest, RewriteConfig, Rewriter};
+use e9x86::insn::Insn;
+
+/// One protocol session (one connection's worth of rewriter state).
+#[derive(Debug, Default)]
+pub struct Session {
+    version: Option<u64>,
+    binary: Option<Vec<u8>>,
+    config: RewriteConfig,
+    insns: Vec<Insn>,
+    extra: Vec<ExtraSegment>,
+    patches: Vec<PatchRequest>,
+    shutdown: bool,
+}
+
+impl Session {
+    /// A fresh session with the default rewriter configuration.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Whether a `shutdown` command has been handled.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Handle one command, returning the `result` payload.
+    ///
+    /// # Errors
+    ///
+    /// Protocol-state violations, invalid parameters and rewrite failures,
+    /// each with its [`code`] constant.
+    pub fn handle(&mut self, cmd: Command) -> Result<Json, RpcError> {
+        // Everything except version negotiation requires it done first.
+        if self.version.is_none() && !matches!(cmd, Command::Version { .. }) {
+            return Err(RpcError::state("version not negotiated"));
+        }
+        match cmd {
+            Command::Version { version } => self.version_cmd(version),
+            Command::Binary { bytes } => self.binary_cmd(bytes),
+            Command::Option { name, value } => self.option_cmd(&name, &value),
+            Command::Reserve {
+                vaddr,
+                bytes,
+                exec,
+                write,
+            } => {
+                self.extra.push(ExtraSegment {
+                    vaddr,
+                    bytes,
+                    exec,
+                    write,
+                });
+                Ok(Json::Obj(Vec::new()))
+            }
+            Command::Instruction { addr, bytes } => self.instruction_cmd(addr, &bytes),
+            Command::Patch { addr, template } => {
+                if self.binary.is_none() {
+                    return Err(RpcError::state("patch before binary"));
+                }
+                self.patches.push(PatchRequest { addr, template });
+                Ok(Json::Obj(Vec::new()))
+            }
+            Command::Emit => self.emit_cmd(),
+            Command::Shutdown => {
+                self.shutdown = true;
+                Ok(Json::Obj(Vec::new()))
+            }
+        }
+    }
+
+    fn version_cmd(&mut self, version: u64) -> Result<Json, RpcError> {
+        if self.version.is_some() {
+            return Err(RpcError::state("version already negotiated"));
+        }
+        if version != PROTOCOL_VERSION {
+            return Err(RpcError::new(
+                code::VERSION,
+                format!("unsupported protocol version {version} (server speaks {PROTOCOL_VERSION})"),
+            ));
+        }
+        self.version = Some(version);
+        Ok(obj(vec![
+            ("version", Json::Int(PROTOCOL_VERSION as i128)),
+            ("server", Json::Str("e9patchd".into())),
+        ]))
+    }
+
+    fn binary_cmd(&mut self, bytes: Vec<u8>) -> Result<Json, RpcError> {
+        if self.binary.is_some() {
+            return Err(RpcError::state("binary already loaded"));
+        }
+        // Validate eagerly so the client hears about a bad image now, not
+        // at emit time.
+        let elf = e9elf::Elf::parse(&bytes)
+            .map_err(|e| RpcError::new(code::REWRITE, format!("unparseable ELF: {e}")))?;
+        let reply = obj(vec![
+            ("size", Json::Int(bytes.len() as i128)),
+            ("entry", Json::Int(elf.entry() as i128)),
+        ]);
+        self.binary = Some(bytes);
+        Ok(reply)
+    }
+
+    fn option_cmd(&mut self, name: &str, value: &str) -> Result<Json, RpcError> {
+        let parse_bool = || -> Result<bool, RpcError> {
+            match value {
+                "true" => Ok(true),
+                "false" => Ok(false),
+                _ => Err(RpcError::invalid_params(format!(
+                    "option {name}: want true|false, got {value:?}"
+                ))),
+            }
+        };
+        match name {
+            "t1" => self.config.tactics.t1 = parse_bool()?,
+            "t2" => self.config.tactics.t2 = parse_bool()?,
+            "t3" => self.config.tactics.t3 = parse_bool()?,
+            "b0" => self.config.b0_fallback = parse_bool()?,
+            "grouping" => self.config.grouping = parse_bool()?,
+            "granularity" => {
+                let m: u64 = value.parse().ok().filter(|&m| m >= 1).ok_or_else(|| {
+                    RpcError::invalid_params(format!(
+                        "option granularity: want an integer >= 1, got {value:?}"
+                    ))
+                })?;
+                self.config.granularity = m;
+            }
+            "alloc" => {
+                self.config.alloc_policy = match value {
+                    "low" => AllocPolicy::FirstFitLow,
+                    "high" => AllocPolicy::FirstFitHigh,
+                    _ => {
+                        return Err(RpcError::invalid_params(format!(
+                            "option alloc: want low|high, got {value:?}"
+                        )))
+                    }
+                };
+            }
+            _ => {
+                return Err(RpcError::invalid_params(format!(
+                    "unknown option {name:?}"
+                )))
+            }
+        }
+        Ok(Json::Obj(Vec::new()))
+    }
+
+    fn instruction_cmd(&mut self, addr: u64, bytes: &[u8]) -> Result<Json, RpcError> {
+        if self.binary.is_none() {
+            return Err(RpcError::state("instruction before binary"));
+        }
+        let insn = e9x86::decode::decode(bytes, addr)
+            .map_err(|e| RpcError::new(code::DECODE, format!("{addr:#x}: {e:?}")))?;
+        if insn.len() != bytes.len() {
+            return Err(RpcError::new(
+                code::DECODE,
+                format!(
+                    "{addr:#x}: {} byte(s) sent but instruction is {}",
+                    bytes.len(),
+                    insn.len()
+                ),
+            ));
+        }
+        self.insns.push(insn);
+        Ok(Json::Obj(Vec::new()))
+    }
+
+    fn emit_cmd(&mut self) -> Result<Json, RpcError> {
+        let Some(binary) = self.binary.as_deref() else {
+            return Err(RpcError::state("emit before binary"));
+        };
+        let out = Rewriter::new(self.config)
+            .rewrite(binary, &self.insns, &self.patches, &self.extra)
+            .map_err(|e| RpcError::new(code::REWRITE, e.to_string()))?;
+        let reply = EmitReply {
+            binary: out.binary,
+            stats: out.stats,
+            size: out.size,
+            loader_addr: out.loader_addr,
+            trap_count: out.trap_count as u64,
+            reports: out.reports,
+            mappings: out
+                .mappings
+                .iter()
+                .map(|m| WireMapping {
+                    vaddr: m.vaddr,
+                    file_off: m.file_off,
+                    len: m.len,
+                })
+                .collect(),
+        };
+        Ok(reply.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e9patch::Template;
+
+    /// A tiny non-PIE binary (Figure-1 shape) plus its code bytes.
+    fn tiny() -> (Vec<u8>, Vec<u8>, u64) {
+        let code = vec![
+            0x48, 0x89, 0x03, // mov %rax,(%rbx)
+            0x48, 0x83, 0xC0, 0x20, // add $32,%rax
+            0xC3, // ret
+            0x0F, 0x1F, 0x44, 0x00, 0x00, // nop padding
+            0x0F, 0x1F, 0x44, 0x00, 0x00,
+        ];
+        let mut b = e9elf::build::ElfBuilder::exec(0x400000);
+        b.text(code.clone(), 0x401000);
+        b.entry(0x401000);
+        (b.build(), code, 0x401000)
+    }
+
+    fn drive(session: &mut Session, cmds: Vec<Command>) -> Vec<Result<Json, RpcError>> {
+        cmds.into_iter().map(|c| session.handle(c)).collect()
+    }
+
+    #[test]
+    fn state_machine_orders_commands() {
+        let mut s = Session::new();
+        // Anything before version is a state error.
+        let e = s.handle(Command::Emit).unwrap_err();
+        assert_eq!(e.code, code::STATE);
+        // Wrong version is rejected and the session stays un-negotiated.
+        let e = s.handle(Command::Version { version: 99 }).unwrap_err();
+        assert_eq!(e.code, code::VERSION);
+        assert!(s.handle(Command::Version { version: 1 }).is_ok());
+        // Double negotiation is a state error.
+        let e = s.handle(Command::Version { version: 1 }).unwrap_err();
+        assert_eq!(e.code, code::STATE);
+        // Instruction/patch before binary are state errors.
+        let e = s
+            .handle(Command::Instruction {
+                addr: 0x401000,
+                bytes: vec![0xC3],
+            })
+            .unwrap_err();
+        assert_eq!(e.code, code::STATE);
+        let e = s
+            .handle(Command::Patch {
+                addr: 0x401000,
+                template: Template::Empty,
+            })
+            .unwrap_err();
+        assert_eq!(e.code, code::STATE);
+    }
+
+    #[test]
+    fn full_session_emits_patched_binary() {
+        let (bin, code, base) = tiny();
+        let disasm = e9x86::decode::linear_sweep(&code, base);
+        let mut s = Session::new();
+        let mut cmds = vec![
+            Command::Version { version: 1 },
+            Command::Binary { bytes: bin.clone() },
+        ];
+        for i in &disasm {
+            cmds.push(Command::Instruction {
+                addr: i.addr,
+                bytes: i.bytes().to_vec(),
+            });
+        }
+        cmds.push(Command::Patch {
+            addr: base,
+            template: Template::Empty,
+        });
+        for r in drive(&mut s, cmds) {
+            r.expect("setup command failed");
+        }
+        let reply = EmitReply::from_json(&s.handle(Command::Emit).unwrap()).unwrap();
+        assert_eq!(reply.stats.succeeded(), 1);
+        // Byte-identical to the in-process path with the same inputs.
+        let direct = Rewriter::new(RewriteConfig::default())
+            .rewrite(
+                &bin,
+                &disasm,
+                &[PatchRequest {
+                    addr: base,
+                    template: Template::Empty,
+                }],
+                &[],
+            )
+            .unwrap();
+        assert_eq!(reply.binary, direct.binary);
+        assert_eq!(reply.stats, direct.stats);
+        assert_eq!(reply.loader_addr, direct.loader_addr);
+    }
+
+    #[test]
+    fn options_steer_the_config() {
+        let (bin, code, base) = tiny();
+        let disasm = e9x86::decode::linear_sweep(&code, base);
+        let mut s = Session::new();
+        s.handle(Command::Version { version: 1 }).unwrap();
+        for (n, v) in [("t1", "false"), ("t2", "false"), ("t3", "false"), ("granularity", "4")] {
+            s.handle(Command::Option {
+                name: n.into(),
+                value: v.into(),
+            })
+            .unwrap();
+        }
+        s.handle(Command::Binary { bytes: bin }).unwrap();
+        s.handle(Command::Instruction {
+            addr: base,
+            bytes: disasm[0].bytes().to_vec(),
+        })
+        .unwrap();
+        s.handle(Command::Patch {
+            addr: base,
+            template: Template::Empty,
+        })
+        .unwrap();
+        let reply = EmitReply::from_json(&s.handle(Command::Emit).unwrap()).unwrap();
+        // Base-only tactics cannot pun this low non-PIE address: failed.
+        assert_eq!(reply.stats.failed, 1);
+        assert_eq!(reply.size.granularity, 4);
+        // Unknown options and bad values are invalid-params.
+        let e = s
+            .handle(Command::Option {
+                name: "turbo".into(),
+                value: "on".into(),
+            })
+            .unwrap_err();
+        assert_eq!(e.code, code::INVALID_PARAMS);
+        let e = s
+            .handle(Command::Option {
+                name: "granularity".into(),
+                value: "0".into(),
+            })
+            .unwrap_err();
+        assert_eq!(e.code, code::INVALID_PARAMS);
+    }
+
+    #[test]
+    fn bad_instruction_bytes_are_decode_errors() {
+        let (bin, _, _) = tiny();
+        let mut s = Session::new();
+        s.handle(Command::Version { version: 1 }).unwrap();
+        s.handle(Command::Binary { bytes: bin }).unwrap();
+        // Truncated instruction (mov needs 3 bytes).
+        let e = s
+            .handle(Command::Instruction {
+                addr: 0x401000,
+                bytes: vec![0x48, 0x89],
+            })
+            .unwrap_err();
+        assert_eq!(e.code, code::DECODE);
+        // Trailing bytes beyond the decoded length.
+        let e = s
+            .handle(Command::Instruction {
+                addr: 0x401000,
+                bytes: vec![0xC3, 0x90],
+            })
+            .unwrap_err();
+        assert_eq!(e.code, code::DECODE);
+    }
+
+    #[test]
+    fn bad_elf_rejected_at_binary_time() {
+        let mut s = Session::new();
+        s.handle(Command::Version { version: 1 }).unwrap();
+        let e = s
+            .handle(Command::Binary {
+                bytes: vec![0u8; 64],
+            })
+            .unwrap_err();
+        assert_eq!(e.code, code::REWRITE);
+        // The session still has no binary: emit remains a state error.
+        let e = s.handle(Command::Emit).unwrap_err();
+        assert_eq!(e.code, code::STATE);
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end tests of the real `e9patchd` daemon process: one over its
+//! stdio, one over a Unix socket. Both must produce output byte-identical
+//! to the in-process `Rewriter` fed the same inputs.
+
+use e9patch::{PatchRequest, RewriteConfig, Rewriter, Template};
+use e9proto::ProtoClient;
+
+fn daemon_path() -> &'static str {
+    env!("CARGO_BIN_EXE_e9patchd")
+}
+
+/// A synthetic workload binary, its disassembly, and its A1 jump sites.
+fn workload() -> (Vec<u8>, Vec<e9x86::insn::Insn>, Vec<u64>) {
+    let sb = e9synth::generate(&e9synth::Profile::tiny("daemon-test", false));
+    let sites: Vec<u64> = sb
+        .disasm
+        .iter()
+        .filter(|i| i.kind.is_jump())
+        .map(|i| i.addr)
+        .collect();
+    assert!(!sites.is_empty());
+    (sb.binary, sb.disasm, sites)
+}
+
+fn drive(client: &mut ProtoClient, bin: &[u8], disasm: &[e9x86::insn::Insn], sites: &[u64]) -> Vec<u8> {
+    client.negotiate().unwrap();
+    client.binary(bin).unwrap();
+    for i in disasm {
+        client.instruction(i.addr, i.bytes()).unwrap();
+    }
+    for &addr in sites {
+        client.patch(addr, Template::Empty).unwrap();
+    }
+    let reply = client.emit().unwrap();
+    assert_eq!(reply.stats.failed, 0, "{:?}", reply.stats);
+    reply.binary
+}
+
+fn reference(bin: &[u8], disasm: &[e9x86::insn::Insn], sites: &[u64]) -> Vec<u8> {
+    let requests: Vec<PatchRequest> = sites
+        .iter()
+        .map(|&addr| PatchRequest {
+            addr,
+            template: Template::Empty,
+        })
+        .collect();
+    Rewriter::new(RewriteConfig::default())
+        .rewrite(bin, disasm, &requests, &[])
+        .unwrap()
+        .binary
+}
+
+#[test]
+fn stdio_daemon_matches_in_process() {
+    let (bin, disasm, sites) = workload();
+    let mut client = ProtoClient::spawn(std::path::Path::new(daemon_path())).unwrap();
+    let via = drive(&mut client, &bin, &disasm, &sites);
+    assert_eq!(via, reference(&bin, &disasm, &sites));
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_daemon_matches_in_process_and_shuts_down() {
+    let dir = std::env::temp_dir().join(format!("e9patchd-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("e9.sock");
+
+    let mut daemon = std::process::Command::new(daemon_path())
+        .arg("--socket")
+        .arg(&sock)
+        .spawn()
+        .unwrap();
+    for _ in 0..200 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    let (bin, disasm, sites) = workload();
+    let mut client = ProtoClient::connect_unix(&sock).unwrap();
+    let via = drive(&mut client, &bin, &disasm, &sites);
+    assert_eq!(via, reference(&bin, &disasm, &sites));
+
+    // In-band shutdown must bring the whole daemon down cleanly.
+    client.shutdown().unwrap();
+    drop(client);
+    let mut ok = false;
+    for _ in 0..500 {
+        if let Some(status) = daemon.try_wait().unwrap() {
+            assert!(status.success(), "daemon exited with {status}");
+            ok = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    if !ok {
+        daemon.kill().ok();
+        panic!("daemon did not exit after shutdown");
+    }
+    assert!(!sock.exists(), "socket file not cleaned up");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn version_mismatch_is_rejected() {
+    use e9proto::msg::{code, Command};
+    let mut client = ProtoClient::spawn(std::path::Path::new(daemon_path())).unwrap();
+    let err = client.call(Command::Version { version: 999 }).unwrap_err();
+    match err {
+        e9proto::ClientError::Rpc(e) => assert_eq!(e.code, code::VERSION),
+        other => panic!("expected version error, got {other:?}"),
+    }
+}

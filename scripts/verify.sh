@@ -8,6 +8,9 @@
 #   2. bench smoke: every `cargo bench` target compiles and executes
 #   3. seed-pinned reproducibility: two E9_SEED=42 synth+rewrite runs
 #      must produce byte-identical artifacts
+#   4. e9patchd smoke: a daemon on a temp Unix socket patches the same
+#      binary through the wire protocol, byte-identical to step 3's
+#      in-process output, and shuts down cleanly
 #
 # Knobs: E9QCHECK_CASES scales property-test depth (default 64);
 # E9_SEED pins the generator seed used by step 3's CLI runs.
@@ -38,5 +41,19 @@ cmp "$tmp/a.elf" "$tmp/b.elf"
 "${e9tool[@]}" patch "$tmp/b.elf" -o "$tmp/b.e9" --app a1 --verify
 cmp "$tmp/a.e9" "$tmp/b.e9"
 echo "byte-identical artifacts: ok"
+
+echo "== e9patchd smoke (wire protocol vs in-process) =="
+sock="$tmp/e9.sock"
+target/release/e9patchd --socket "$sock" --max-conns 1 &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$sock" ] && break
+  sleep 0.05
+done
+[ -S "$sock" ] || { echo "daemon socket never appeared" >&2; exit 1; }
+"${e9tool[@]}" patch "$tmp/a.elf" -o "$tmp/a.wire.e9" --app a1 --backend "$sock"
+wait "$daemon_pid"
+cmp "$tmp/a.e9" "$tmp/a.wire.e9"
+echo "backend output byte-identical to in-process: ok"
 
 echo "ALL CHECKS PASSED"

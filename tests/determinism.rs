@@ -46,6 +46,34 @@ fn same_seed_same_bytes() {
     }
 }
 
+#[cfg(unix)]
+#[test]
+fn backend_matches_in_process() {
+    // A third run driven through the e9patchd wire protocol: under the
+    // same seed the backend path must reproduce the in-process bytes
+    // exactly — the frontend/backend split adds no nondeterminism.
+    let seed = seed_from_env();
+    let (_, in_process, summary) = full_run(seed, false, Application::A1Jumps, Payload::Empty);
+
+    let mut p = Profile::tiny("determinism", false);
+    p.seed = seed;
+    p.funcs = 6;
+    p.switch_pct = 60;
+    let sb = generate(&p);
+    let opts = Options::new(Application::A1Jumps, Payload::Empty);
+    let mut client = e9proto::ProtoClient::in_process().expect("loopback backend");
+    let out = e9front::instrument_via_backend(&sb.binary, &sb.disasm, &opts, &mut client)
+        .expect("backend instrument");
+    assert_eq!(
+        out.rewrite.binary, in_process,
+        "backend output diverged from in-process output"
+    );
+    assert_eq!(
+        format!("sites={} stats={:?}", out.sites, out.rewrite.stats),
+        summary
+    );
+}
+
 #[test]
 fn different_seeds_different_bytes() {
     let seed = seed_from_env();
