@@ -52,52 +52,77 @@ impl Elf {
     /// # Errors
     ///
     /// Fails on bad magic/class/machine or truncated header tables. Section
-    /// headers are optional (stripped binaries parse fine).
+    /// headers are optional (stripped binaries parse fine). Every read is
+    /// bounds-checked: arbitrary input yields a typed [`ElfError`], never a
+    /// panic (the hostile-input corpus and `e9faultgen` enforce this).
     pub fn parse(bytes: &[u8]) -> Result<Elf, ElfError> {
-        if bytes.len() < EHDR_SIZE
+        if bytes.len() < 6
             || bytes[0..4] != ELF_MAGIC
             || bytes[4] != ELFCLASS64
             || bytes[5] != ELFDATA2LSB
         {
             return Err(ElfError::BadMagic);
         }
-        let u16le = |o: usize| u16::from_le_bytes(bytes[o..o + 2].try_into().unwrap());
-        let u64le = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
-        let e_type = u16le(16);
+        if bytes.len() < EHDR_SIZE {
+            // Right magic, but the file header itself is cut short.
+            return Err(ElfError::Truncated("file header"));
+        }
+        let u16le = |o: usize| -> Result<u16, ElfError> {
+            bytes
+                .get(o..o + 2)
+                .and_then(|b| b.try_into().ok())
+                .map(u16::from_le_bytes)
+                .ok_or(ElfError::Truncated("file header"))
+        };
+        let u64le = |o: usize| -> Result<u64, ElfError> {
+            bytes
+                .get(o..o + 8)
+                .and_then(|b| b.try_into().ok())
+                .map(u64::from_le_bytes)
+                .ok_or(ElfError::Truncated("file header"))
+        };
+        let e_type = u16le(16)?;
         if e_type != ET_EXEC && e_type != ET_DYN {
             return Err(ElfError::BadType(e_type));
         }
-        let machine = u16le(18);
+        let machine = u16le(18)?;
         if machine != EM_X86_64 {
             return Err(ElfError::BadMagic);
         }
         let ehdr = Ehdr {
             e_type,
-            e_entry: u64le(24),
-            e_phoff: u64le(32),
-            e_shoff: u64le(40),
-            e_phnum: u16le(56),
-            e_shnum: u16le(60),
-            e_shstrndx: u16le(62),
+            e_entry: u64le(24)?,
+            e_phoff: u64le(32)?,
+            e_shoff: u64le(40)?,
+            e_phnum: u16le(56)?,
+            e_shnum: u16le(60)?,
+            e_shstrndx: u16le(62)?,
         };
-        // Program headers.
-        let phoff = ehdr.e_phoff as usize;
-        let phend = phoff + ehdr.e_phnum as usize * PHDR_SIZE;
-        if phend > bytes.len() {
-            return Err(ElfError::Truncated("program header table"));
-        }
+        // Program headers. All table arithmetic is checked: a crafted
+        // e_phoff/e_phnum must not be able to wrap and alias the header.
+        let table_end = |off: u64, count: u16, entry: usize| -> Option<usize> {
+            let off = usize::try_from(off).ok()?;
+            (count as usize)
+                .checked_mul(entry)
+                .and_then(|len| off.checked_add(len))
+                .filter(|&end| end <= bytes.len())
+                .map(|_| off)
+        };
+        let phoff = table_end(ehdr.e_phoff, ehdr.e_phnum, PHDR_SIZE)
+            .ok_or(ElfError::Truncated("program header table"))?;
         let phdrs: Vec<Phdr> = (0..ehdr.e_phnum as usize)
-            .map(|i| Phdr::from_bytes(&bytes[phoff + i * PHDR_SIZE..]))
-            .collect();
+            .map(|i| {
+                Phdr::try_from_bytes(&bytes[phoff + i * PHDR_SIZE..phoff + (i + 1) * PHDR_SIZE])
+                    .ok_or(ElfError::Truncated("program header"))
+            })
+            .collect::<Result<_, _>>()?;
         // Section headers (optional).
         let mut sections = Vec::new();
         if ehdr.e_shnum > 0 && ehdr.e_shoff != 0 {
-            let shoff = ehdr.e_shoff as usize;
-            let shend = shoff + ehdr.e_shnum as usize * SHDR_SIZE;
-            if shend > bytes.len() {
-                return Err(ElfError::Truncated("section header table"));
-            }
+            let shoff = table_end(ehdr.e_shoff, ehdr.e_shnum, SHDR_SIZE)
+                .ok_or(ElfError::Truncated("section header table"))?;
             let shdr_at = |i: usize| -> (u32, u32, u64, u64, u64, u64) {
+                // In bounds by the table_end check above.
                 let b = &bytes[shoff + i * SHDR_SIZE..];
                 let name_off = u32::from_le_bytes(b[0..4].try_into().unwrap());
                 let sh_type = u32::from_le_bytes(b[4..8].try_into().unwrap());
@@ -107,15 +132,15 @@ impl Elf {
                 let sh_size = u64::from_le_bytes(b[32..40].try_into().unwrap());
                 (name_off, sh_type, sh_addr, sh_offset, sh_size, sh_flags)
             };
-            // Resolve names through .shstrtab.
+            // Resolve names through .shstrtab; a bogus or out-of-file
+            // shstrndx degrades to empty names rather than failing.
             let strtab: &[u8] = if (ehdr.e_shstrndx as usize) < ehdr.e_shnum as usize {
                 let (_, _, _, off, size, _) = shdr_at(ehdr.e_shstrndx as usize);
-                let (off, size) = (off as usize, size as usize);
-                if off + size <= bytes.len() {
-                    &bytes[off..off + size]
-                } else {
-                    &[]
-                }
+                usize::try_from(off)
+                    .ok()
+                    .zip(usize::try_from(size).ok())
+                    .and_then(|(off, size)| bytes.get(off..off.checked_add(size)?))
+                    .unwrap_or(&[])
             } else {
                 &[]
             };
@@ -183,7 +208,12 @@ impl Elf {
     pub fn vaddr_to_offset(&self, vaddr: u64) -> Result<u64, ElfError> {
         for p in self.load_segments() {
             if p.covers_file(vaddr) {
-                return Ok(p.p_offset + (vaddr - p.p_vaddr));
+                // A hostile p_offset can sit near u64::MAX; the sum must
+                // not wrap into a plausible-looking low offset.
+                return p
+                    .p_offset
+                    .checked_add(vaddr - p.p_vaddr)
+                    .ok_or(ElfError::Truncated("segment offset"));
             }
         }
         Err(ElfError::Unmapped(vaddr))
@@ -195,11 +225,18 @@ impl Elf {
     ///
     /// Fails if the range is not fully file-backed within one segment.
     pub fn slice_at(&self, vaddr: u64, len: usize) -> Result<&[u8], ElfError> {
-        let off = self.vaddr_to_offset(vaddr)? as usize;
+        if len == 0 {
+            return Ok(&[]);
+        }
+        let off = usize::try_from(self.vaddr_to_offset(vaddr)?)
+            .map_err(|_| ElfError::Truncated("segment data"))?;
         // The whole range must stay within the same segment's file image.
-        self.vaddr_to_offset(vaddr + len as u64 - 1)?;
+        let last = vaddr
+            .checked_add(len as u64 - 1)
+            .ok_or(ElfError::Unmapped(vaddr))?;
+        self.vaddr_to_offset(last)?;
         self.data
-            .get(off..off + len)
+            .get(off..off.checked_add(len).ok_or(ElfError::Truncated("segment data"))?)
             .ok_or(ElfError::Truncated("segment data"))
     }
 
@@ -212,9 +249,16 @@ impl Elf {
         if bytes.is_empty() {
             return Ok(());
         }
-        let off = self.vaddr_to_offset(vaddr)? as usize;
-        self.vaddr_to_offset(vaddr + bytes.len() as u64 - 1)?;
-        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+        let off = usize::try_from(self.vaddr_to_offset(vaddr)?)
+            .map_err(|_| ElfError::Truncated("segment data"))?;
+        let last = vaddr
+            .checked_add(bytes.len() as u64 - 1)
+            .ok_or(ElfError::Unmapped(vaddr))?;
+        self.vaddr_to_offset(last)?;
+        self.data
+            .get_mut(off..off + bytes.len())
+            .ok_or(ElfError::Truncated("segment data"))?
+            .copy_from_slice(bytes);
         Ok(())
     }
 
@@ -229,8 +273,9 @@ impl Elf {
         if s.sh_type == SHT_NOBITS {
             return None;
         }
-        self.data
-            .get(s.sh_offset as usize..(s.sh_offset + s.sh_size) as usize)
+        let off = usize::try_from(s.sh_offset).ok()?;
+        let size = usize::try_from(s.sh_size).ok()?;
+        self.data.get(off..off.checked_add(size)?)
     }
 
     /// Lowest and highest+1 virtual addresses of any loadable segment
@@ -240,7 +285,7 @@ impl Elf {
         let mut hi = 0;
         for p in self.load_segments() {
             lo = lo.min(p.p_vaddr);
-            hi = hi.max(p.p_vaddr + p.p_memsz);
+            hi = hi.max(p.p_vaddr.saturating_add(p.p_memsz));
         }
         if lo == u64::MAX {
             (0, 0)

@@ -92,15 +92,18 @@ pub struct Phdr {
 
 impl Phdr {
     /// Does this loadable segment cover virtual address `vaddr` in memory?
+    ///
+    /// Phrased as a checked subtraction so a hostile `p_vaddr + p_memsz`
+    /// near `u64::MAX` cannot wrap.
     #[inline]
     pub fn covers(&self, vaddr: u64) -> bool {
-        vaddr >= self.p_vaddr && vaddr < self.p_vaddr + self.p_memsz
+        vaddr.checked_sub(self.p_vaddr).is_some_and(|d| d < self.p_memsz)
     }
 
     /// Does the *file-backed* part of this segment cover `vaddr`?
     #[inline]
     pub fn covers_file(&self, vaddr: u64) -> bool {
-        vaddr >= self.p_vaddr && vaddr < self.p_vaddr + self.p_filesz
+        vaddr.checked_sub(self.p_vaddr).is_some_and(|d| d < self.p_filesz)
     }
 
     /// Serialize to the 56-byte on-disk representation.
@@ -118,10 +121,24 @@ impl Phdr {
     }
 
     /// Deserialize from the on-disk representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is shorter than [`PHDR_SIZE`]; use
+    /// [`Phdr::try_from_bytes`] for untrusted input.
     pub fn from_bytes(b: &[u8]) -> Phdr {
+        Phdr::try_from_bytes(b).expect("program header shorter than PHDR_SIZE")
+    }
+
+    /// Deserialize from the on-disk representation, or `None` if the slice
+    /// is shorter than [`PHDR_SIZE`]. Total: never panics.
+    pub fn try_from_bytes(b: &[u8]) -> Option<Phdr> {
+        if b.len() < PHDR_SIZE {
+            return None;
+        }
         let u32le = |o: usize| u32::from_le_bytes(b[o..o + 4].try_into().unwrap());
         let u64le = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().unwrap());
-        Phdr {
+        Some(Phdr {
             p_type: u32le(0),
             p_flags: u32le(4),
             p_offset: u64le(8),
@@ -129,7 +146,7 @@ impl Phdr {
             p_filesz: u64le(32),
             p_memsz: u64le(40),
             p_align: u64le(48),
-        }
+        })
     }
 }
 

@@ -52,4 +52,32 @@ props! {
         let keep = ((bytes.len() as f64) * keep_frac) as usize;
         let _ = Elf::parse(&bytes[..keep]);
     }
+
+    /// Boundary values planted in the header-count and segment-size
+    /// fields (the u64/u16 overflow bait) never panic the parser or the
+    /// accessors — regression guard for the checked-arithmetic rewrite.
+    #[test]
+    fn planted_overflow_fields_never_panic(field in 0u32..6, bomb_i in 0usize..6) {
+        const BOMBS: [u64; 6] =
+            [u64::MAX, u64::MAX - 1, u64::MAX / 2, 1 << 63, 1 << 32, 0xFFFF_FFFF];
+        let bomb = BOMBS[bomb_i];
+        let mut bytes = valid_binary();
+        let phoff = u64::from_le_bytes(bytes[32..40].try_into().unwrap()) as usize;
+        match field {
+            0 => bytes[32..40].copy_from_slice(&bomb.to_le_bytes()),          // e_phoff
+            1 => bytes[40..48].copy_from_slice(&bomb.to_le_bytes()),          // e_shoff
+            2 => bytes[56..58].copy_from_slice(&0xFFFFu16.to_le_bytes()),     // e_phnum
+            3 => bytes[60..62].copy_from_slice(&0xFFFFu16.to_le_bytes()),     // e_shnum
+            4 => bytes[phoff + 16..phoff + 24].copy_from_slice(&bomb.to_le_bytes()), // p_vaddr
+            _ => bytes[phoff + 40..phoff + 48].copy_from_slice(&bomb.to_le_bytes()), // p_memsz
+        }
+        if let Ok(elf) = Elf::parse(&bytes) {
+            let _ = elf.vaddr_extent();
+            let _ = elf.slice_at(u64::MAX - 4, 8);
+            let _ = elf.slice_at(0x401000, usize::MAX);
+            for p in elf.load_segments() {
+                let _ = elf.vaddr_to_offset(p.p_vaddr);
+            }
+        }
+    }
 }

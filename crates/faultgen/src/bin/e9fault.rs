@@ -1,0 +1,173 @@
+//! `e9fault` — run the deterministic fault-injection campaigns.
+//!
+//! ```console
+//! $ e9fault                                  # both surfaces, default sizes
+//! $ E9FAULT_SEED=7 e9fault --elf-cases 1000  # bigger ELF campaign
+//! $ e9fault --surface elf --case 123         # replay one mutant
+//! $ e9fault --write-corpus tests/corpus      # regenerate the hostile corpus
+//! ```
+//!
+//! Exit code 0 means zero panics across every executed case; 1 means at
+//! least one case unwound, and a replay line (`E9FAULT_SEED=… --case N`)
+//! has been printed for each.
+
+use e9faultgen::{
+    case_rng, corpus, elf, seed_from_env, wire, CampaignReport, Outcome, Surface, ENV_SEED,
+};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "e9fault — deterministic fault-injection campaigns
+
+USAGE:
+  e9fault [--seed N] [--elf-cases N] [--wire-cases N]
+  e9fault --surface elf|wire --case N [--seed N]   replay one case
+  e9fault --write-corpus DIR                       regenerate hostile ELFs
+
+The seed defaults to ${ENV_SEED} (then 42). Exit 1 if any case panics."
+    );
+    ExitCode::from(2)
+}
+
+fn replay(seed: u64, surface: Surface, case: u32) -> ExitCode {
+    let mut rng = case_rng(seed, surface, case);
+    let outcome = match surface {
+        Surface::Elf => {
+            let mutant = elf::mutate(&mut rng, &elf::baseline_elf());
+            eprintln!("e9fault: replaying elf case {case} ({} bytes)", mutant.len());
+            e9faultgen::elf_case(&mutant)
+        }
+        Surface::Wire => {
+            let mutant = wire::mutate(&mut rng, &wire::baseline_script());
+            eprintln!(
+                "e9fault: replaying wire case {case} ({} bytes)",
+                mutant.len()
+            );
+            wire::wire_case(&mutant)
+        }
+    };
+    println!("{ENV_SEED}={seed} surface={} case={case}: {outcome:?}", surface.name());
+    if outcome == Outcome::Panicked {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn write_corpus(dir: &str) -> ExitCode {
+    let dir = std::path::Path::new(dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("e9fault: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    for (name, bytes) in corpus::all() {
+        let path = dir.join(format!("{name}.bin"));
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            eprintln!("e9fault: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} ({} bytes)", path.display(), bytes.len());
+    }
+    ExitCode::SUCCESS
+}
+
+fn finish(reports: &[CampaignReport]) -> ExitCode {
+    let mut clean = true;
+    for r in reports {
+        println!("{}", r.summary());
+        if !r.is_clean() {
+            clean = false;
+            eprint!("{}", r.replay_lines());
+        }
+    }
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = seed_from_env();
+    let mut elf_cases = 320u32;
+    let mut wire_cases = 200u32;
+    let mut surface: Option<Surface> = None;
+    let mut case: Option<u32> = None;
+    let mut corpus_dir: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: usize| argv.get(i + 1).cloned();
+        match argv[i].as_str() {
+            "--seed" => match take(i).and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    seed = v;
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--elf-cases" => match take(i).and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    elf_cases = v;
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--wire-cases" => match take(i).and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    wire_cases = v;
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--surface" => match take(i).as_deref() {
+                Some("elf") => {
+                    surface = Some(Surface::Elf);
+                    i += 2;
+                }
+                Some("wire") => {
+                    surface = Some(Surface::Wire);
+                    i += 2;
+                }
+                _ => return usage(),
+            },
+            "--case" => match take(i).and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    case = Some(v);
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--write-corpus" => match take(i) {
+                Some(d) => {
+                    corpus_dir = Some(d);
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    if let Some(dir) = corpus_dir {
+        return write_corpus(&dir);
+    }
+    if let Some(case) = case {
+        let Some(surface) = surface else {
+            return usage();
+        };
+        return replay(seed, surface, case);
+    }
+
+    let mut reports = Vec::new();
+    match surface {
+        Some(Surface::Elf) => reports.push(e9faultgen::run_elf_campaign(seed, elf_cases)),
+        Some(Surface::Wire) => reports.push(e9faultgen::run_wire_campaign(seed, wire_cases)),
+        None => {
+            reports.push(e9faultgen::run_elf_campaign(seed, elf_cases));
+            reports.push(e9faultgen::run_wire_campaign(seed, wire_cases));
+        }
+    }
+    finish(&reports)
+}

@@ -1,0 +1,133 @@
+//! A small, named corpus of malformed ELF images.
+//!
+//! Each entry is a deterministic transformation of the campaign baseline,
+//! one per historical parser-panic class. The files are checked in under
+//! `tests/corpus/` and the `hostile_elf` integration test both replays
+//! them against the parser/loader and asserts the checked-in bytes match
+//! this generator — so the corpus cannot silently rot as the builder
+//! evolves. Regenerate with `e9fault --write-corpus <dir>`.
+
+use crate::elf::baseline_elf;
+use e9elf::types::{EHDR_SIZE, PHDR_SIZE, PT_NOTE};
+
+const EH_PHOFF: usize = 32;
+const EH_PHNUM: usize = 56;
+const EH_SHNUM: usize = 60;
+const EH_SHSTRNDX: usize = 62;
+const PH_TYPE: usize = 0;
+const PH_OFFSET: usize = 8;
+const PH_VADDR: usize = 16;
+const PH_FILESZ: usize = 32;
+const PH_MEMSZ: usize = 40;
+
+/// Names of every corpus entry, in generation order.
+pub const NAMES: [&str; 10] = [
+    "trunc-ehdr",
+    "trunc-phdrs",
+    "phnum-bomb",
+    "shnum-bomb",
+    "overlap-phdrs",
+    "vaddr-wrap",
+    "offset-oob",
+    "memsz-bomb",
+    "shstrndx-oob",
+    "note-wrap",
+];
+
+fn put16(bytes: &mut [u8], off: usize, v: u16) {
+    bytes[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put32(bytes: &mut [u8], off: usize, v: u32) {
+    bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put64(bytes: &mut [u8], off: usize, v: u64) {
+    bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn read64(bytes: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap())
+}
+
+fn read16(bytes: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap())
+}
+
+fn phdr(bytes: &[u8], i: u16) -> usize {
+    read64(bytes, EH_PHOFF) as usize + usize::from(i) * PHDR_SIZE
+}
+
+/// Generate the corpus entry `name`, or `None` for an unknown name.
+pub fn generate(name: &str) -> Option<Vec<u8>> {
+    let base = baseline_elf();
+    let phnum = read16(&base, EH_PHNUM);
+    let mut b = base.clone();
+    match name {
+        // File header cut mid-way: every header field read must bounds-check.
+        "trunc-ehdr" => b.truncate(45),
+        // Table truncated mid-entry: phnum promises more than the file holds.
+        "trunc-phdrs" => b.truncate(EHDR_SIZE + PHDR_SIZE + PHDR_SIZE / 2),
+        // 65535 program headers in a file a few KiB long.
+        "phnum-bomb" => put16(&mut b, EH_PHNUM, 0xFFFF),
+        // Same bomb on the section-header table.
+        "shnum-bomb" => put16(&mut b, EH_SHNUM, 0xFFFF),
+        // Second PT_LOAD remapped on top of the first, off by one page.
+        "overlap-phdrs" => {
+            if phnum >= 2 {
+                let src = phdr(&b, 0);
+                let dst = phdr(&b, 1);
+                let copy = b[src..src + PHDR_SIZE].to_vec();
+                b[dst..dst + PHDR_SIZE].copy_from_slice(&copy);
+                let v = read64(&b, dst + PH_VADDR);
+                put64(&mut b, dst + PH_VADDR, v + 0x1000);
+            }
+        }
+        // Load address at the top of the address space: vaddr + memsz wraps.
+        "vaddr-wrap" => {
+            let off = phdr(&b, 0);
+            put64(&mut b, off + PH_VADDR, u64::MAX - 0xFFF);
+        }
+        // Segment file range entirely past EOF.
+        "offset-oob" => {
+            let off = phdr(&b, 0);
+            put64(&mut b, off + PH_OFFSET, 0xFFFF_FFFF);
+        }
+        // Near-2^63 memory size: page-table and allocation bomb.
+        "memsz-bomb" => {
+            let off = phdr(&b, 0);
+            put64(&mut b, off + PH_MEMSZ, u64::MAX / 2);
+        }
+        // String-table index pointing at a section that does not exist.
+        "shstrndx-oob" => put16(&mut b, EH_SHSTRNDX, 0xFFFF),
+        // PT_NOTE whose file range wraps u64.
+        "note-wrap" => {
+            let off = phdr(&b, phnum - 1);
+            put32(&mut b, off + PH_TYPE, PT_NOTE);
+            put64(&mut b, off + PH_OFFSET, u64::MAX - 4);
+            put64(&mut b, off + PH_FILESZ, 64);
+        }
+        _ => return None,
+    }
+    Some(b)
+}
+
+/// Every corpus entry as `(name, bytes)`.
+pub fn all() -> Vec<(&'static str, Vec<u8>)> {
+    NAMES
+        .iter()
+        .map(|n| (*n, generate(n).expect("known name")))
+        .collect()
+}
+
+/// Corpus entries that a correct parser/loader **must reject** (the rest
+/// may degrade gracefully — e.g. a bad `e_shstrndx` only costs section
+/// names).
+pub const MUST_REJECT: [&str; 6] = [
+    "trunc-ehdr",
+    "trunc-phdrs",
+    "phnum-bomb",
+    "vaddr-wrap",
+    "offset-oob",
+    "memsz-bomb",
+];

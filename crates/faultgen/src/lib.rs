@@ -1,0 +1,211 @@
+//! # e9faultgen — deterministic fault injection for the untrusted surfaces
+//!
+//! The rewriter has exactly two places where bytes it does not control
+//! enter the system:
+//!
+//! 1. **ELF images** — `e9elf::image::Elf::parse` and the VM loader
+//!    (`e9vm::load::load_elf`), reached from `e9tool` file arguments and
+//!    from the wire protocol's `binary` command;
+//! 2. **wire-protocol streams** — request lines entering
+//!    `e9proto::server::dispatch_line` (JSON parse → envelope decode →
+//!    session state machine).
+//!
+//! This crate throws seeded, structured garbage at both and asserts the
+//! contract the rest of the workspace relies on: *typed errors, never
+//! panics*, and a session that keeps answering after arbitrary bad input.
+//!
+//! Everything is replayable. A campaign is a pure function of
+//! `(seed, case index)`: per-case generators are derived with SplitMix64
+//! so case `i` can be regenerated without running cases `0..i`. On
+//! failure the report prints an `E9FAULT_SEED=… --case N` line; running
+//! `e9fault` with those values reproduces the exact mutant. The seed
+//! comes from the `E9FAULT_SEED` environment variable (default 42) so CI
+//! logs are sufficient to reproduce a red run.
+//!
+//! The mutation grammar is deliberately structured rather than uniform
+//! random: truncation, byte flips, length/count inflation, overlap
+//! injection and mid-stream disconnects correspond one-to-one to the
+//! historical panic classes in naive parsers (slice OOB, `usize` wrap,
+//! allocation bombs, inconsistent tables, partial reads).
+
+pub mod corpus;
+pub mod elf;
+pub mod wire;
+
+use e9rng::{SplitMix64, StdRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Environment variable naming the campaign seed (default 42).
+pub const ENV_SEED: &str = "E9FAULT_SEED";
+
+/// Read the campaign seed from [`ENV_SEED`], defaulting to 42.
+pub fn seed_from_env() -> u64 {
+    std::env::var(ENV_SEED)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Which untrusted surface a campaign targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Surface {
+    /// ELF images into `Elf::parse` + `load_elf`.
+    Elf,
+    /// Wire-protocol byte streams into `dispatch_line`.
+    Wire,
+}
+
+impl Surface {
+    fn tag(self) -> u64 {
+        match self {
+            Surface::Elf => 0x454C_465F_5355_5246, // "ELF_SURF"
+            Surface::Wire => 0x5749_5245_5355_5246, // "WIRESURF"
+        }
+    }
+
+    /// Command-line name (`elf` / `wire`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Surface::Elf => "elf",
+            Surface::Wire => "wire",
+        }
+    }
+}
+
+/// Derive the RNG for one case. Pure in `(seed, surface, index)`: replay
+/// of case `i` never needs cases `0..i`.
+pub fn case_rng(seed: u64, surface: Surface, index: u32) -> StdRng {
+    let mut sm = SplitMix64::new(seed ^ surface.tag());
+    let a = sm.next_u64();
+    let b = sm.next_u64();
+    StdRng::seed_from_u64(a ^ u64::from(index).wrapping_mul(b | 1))
+}
+
+/// How one fault case ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The mutant was still acceptable input (parsed / all requests ok).
+    Accepted,
+    /// The mutant was refused with a typed error — the desired outcome.
+    Rejected,
+    /// The target panicked. Always a bug.
+    Panicked,
+}
+
+/// Result of one campaign over one surface.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Surface the campaign ran against.
+    pub surface: Surface,
+    /// Seed the campaign ran with.
+    pub seed: u64,
+    /// Number of cases executed.
+    pub cases: u32,
+    /// Mutants that were still valid input.
+    pub accepted: u32,
+    /// Mutants refused with typed errors.
+    pub rejected: u32,
+    /// Case indices whose execution panicked (should be empty).
+    pub panicked: Vec<u32>,
+}
+
+impl CampaignReport {
+    /// True when no case panicked.
+    pub fn is_clean(&self) -> bool {
+        self.panicked.is_empty()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "fault[{}]: seed={} cases={} accepted={} rejected={} panics={}",
+            self.surface.name(),
+            self.seed,
+            self.cases,
+            self.accepted,
+            self.rejected,
+            self.panicked.len()
+        )
+    }
+
+    /// Replay instructions for every panicking case (empty string when
+    /// clean).
+    pub fn replay_lines(&self) -> String {
+        let mut out = String::new();
+        for &i in &self.panicked {
+            out.push_str(&format!(
+                "{}={} e9fault --surface {} --case {}   # replays the panic\n",
+                ENV_SEED,
+                self.seed,
+                self.surface.name(),
+                i
+            ));
+        }
+        out
+    }
+}
+
+fn run_campaign<F>(surface: Surface, seed: u64, cases: u32, mut one: F) -> CampaignReport
+where
+    F: FnMut(&mut StdRng) -> Outcome,
+{
+    let mut report = CampaignReport {
+        surface,
+        seed,
+        cases,
+        accepted: 0,
+        rejected: 0,
+        panicked: Vec::new(),
+    };
+    for i in 0..cases {
+        let mut rng = case_rng(seed, surface, i);
+        match one(&mut rng) {
+            Outcome::Accepted => report.accepted += 1,
+            Outcome::Rejected => report.rejected += 1,
+            Outcome::Panicked => report.panicked.push(i),
+        }
+    }
+    report
+}
+
+/// Run `cases` seeded mutants against the ELF surface: each case mutates
+/// the baseline image and feeds it to `Elf::parse`, then (if it still
+/// parses) to the VM loader. Any unwind is recorded as a panic.
+pub fn run_elf_campaign(seed: u64, cases: u32) -> CampaignReport {
+    let base = elf::baseline_elf();
+    run_campaign(Surface::Elf, seed, cases, |rng| {
+        let mutant = elf::mutate(rng, &base);
+        elf_case(&mutant)
+    })
+}
+
+/// Execute one ELF case (also used by corpus replay): parse, and load
+/// into a fresh VM when parsing succeeds.
+pub fn elf_case(bytes: &[u8]) -> Outcome {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        match e9elf::image::Elf::parse(bytes) {
+            Err(_) => Outcome::Rejected,
+            Ok(_) => {
+                let mut vm = e9vm::Vm::new();
+                match e9vm::load_elf(&mut vm, bytes) {
+                    Ok(()) => Outcome::Accepted,
+                    Err(_) => Outcome::Rejected,
+                }
+            }
+        }
+    }));
+    result.unwrap_or(Outcome::Panicked)
+}
+
+/// Run `cases` seeded mutants against the wire surface: each case mutates
+/// a valid session transcript, feeds every line through a fresh session's
+/// `dispatch_line`, then probes that the session still answers a
+/// well-formed request. Any unwind — and any post-mutation
+/// unserviceability — is recorded as a panic-class failure.
+pub fn run_wire_campaign(seed: u64, cases: u32) -> CampaignReport {
+    let script = wire::baseline_script();
+    run_campaign(Surface::Wire, seed, cases, |rng| {
+        let mutant = wire::mutate(rng, &script);
+        wire::wire_case(&mutant)
+    })
+}

@@ -1,0 +1,83 @@
+//! Replay the checked-in hostile-ELF corpus against the parser and the
+//! VM loader: typed errors or graceful degradation, never a panic.
+//!
+//! Each corpus file is a deterministic transformation of the campaign
+//! baseline (see `e9faultgen::corpus`); the test also asserts the
+//! checked-in bytes still match the generator, so the corpus and the
+//! builder cannot drift apart silently. Regenerate after intentional
+//! builder changes with:
+//!
+//! ```console
+//! $ cargo run -p e9faultgen --bin e9fault -- --write-corpus crates/faultgen/tests/corpus
+//! ```
+
+use e9faultgen::{corpus, elf_case, Outcome};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_is_complete_and_current() {
+    for name in corpus::NAMES {
+        let path = corpus_dir().join(format!("{name}.bin"));
+        let on_disk = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing corpus file {}: {e}", path.display()));
+        let generated = corpus::generate(name).expect("known corpus name");
+        assert_eq!(
+            on_disk,
+            generated,
+            "{name}.bin is stale; regenerate with e9fault --write-corpus"
+        );
+    }
+}
+
+#[test]
+fn corpus_never_panics_parser_or_loader() {
+    for name in corpus::NAMES {
+        let bytes = std::fs::read(corpus_dir().join(format!("{name}.bin"))).unwrap();
+        let outcome = elf_case(&bytes);
+        assert_ne!(outcome, Outcome::Panicked, "{name} panicked the parser/loader");
+    }
+}
+
+#[test]
+fn structurally_broken_entries_are_rejected() {
+    for name in corpus::MUST_REJECT {
+        let bytes = std::fs::read(corpus_dir().join(format!("{name}.bin"))).unwrap();
+        assert_eq!(
+            elf_case(&bytes),
+            Outcome::Rejected,
+            "{name} should have been refused with a typed error"
+        );
+    }
+}
+
+#[test]
+fn corpus_failures_are_typed_not_stringly() {
+    // Spot-check that the rejections surface as the right error types,
+    // not via some incidental failure.
+    let read = |n: &str| std::fs::read(corpus_dir().join(format!("{n}.bin"))).unwrap();
+
+    match e9elf::Elf::parse(&read("trunc-ehdr")) {
+        Err(e9elf::ElfError::Truncated(_)) => {}
+        other => panic!("trunc-ehdr: expected Truncated, got {other:?}"),
+    }
+    match e9elf::Elf::parse(&read("phnum-bomb")) {
+        Err(e9elf::ElfError::Truncated(_)) => {}
+        other => panic!("phnum-bomb: expected Truncated, got {other:?}"),
+    }
+
+    // These parse (the header tables are intact) but must be refused by
+    // the loader's segment validation.
+    for name in ["vaddr-wrap", "offset-oob", "memsz-bomb"] {
+        let bytes = read(name);
+        e9elf::Elf::parse(&bytes).unwrap_or_else(|e| panic!("{name} should parse: {e:?}"));
+        let mut vm = e9vm::Vm::new();
+        assert!(
+            e9vm::load_elf(&mut vm, &bytes).is_err(),
+            "{name} should be refused by the loader"
+        );
+    }
+}

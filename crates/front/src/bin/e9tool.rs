@@ -103,6 +103,28 @@ impl Args {
     }
 }
 
+/// Read an input binary with diagnostics a user can act on: directories,
+/// empty files and unreadable paths each get a specific message (and a
+/// nonzero exit) instead of a confusing downstream parse error.
+fn read_input(path: &str) -> Result<Vec<u8>, String> {
+    let meta =
+        std::fs::metadata(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if meta.is_dir() {
+        return Err(format!("{path} is a directory, not an ELF binary"));
+    }
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if bytes.is_empty() {
+        return Err(format!("{path} is empty (zero bytes), not an ELF binary"));
+    }
+    Ok(bytes)
+}
+
+/// Parse with the file name in the message ("demo.txt: bad magic ..."
+/// beats a bare "bad magic").
+fn parse_input(path: &str, bytes: &[u8]) -> Result<e9elf::Elf, String> {
+    e9elf::Elf::parse(bytes).map_err(|e| format!("{path}: not a valid ELF binary: {e}"))
+}
+
 fn cmd_gen(args: &Args) -> Result<(), String> {
     args.check_flags(&["tiny", "profile", "pie", "scale", "out"])?;
     let out = args.value("out").ok_or("gen requires -o OUT")?;
@@ -131,7 +153,8 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
             .map_err(|_| format!("bad E9_SEED {seed:?} (want a u64)"))?;
     }
     let sb = e9synth::generate(&profile);
-    std::fs::write(out, &sb.binary).map_err(|e| e.to_string())?;
+    e9front::output::write_atomic(std::path::Path::new(out), &sb.binary)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
     println!(
         "wrote {out}: {} bytes, entry {:#x}, {} instructions, seed {}",
         sb.binary.len(),
@@ -145,8 +168,8 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
 fn cmd_info(args: &Args) -> Result<(), String> {
     args.check_flags(&[])?;
     let path = args.positional.first().ok_or("info requires BINARY")?;
-    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
-    let elf = e9elf::Elf::parse(&bytes).map_err(|e| e.to_string())?;
+    let bytes = read_input(path)?;
+    let elf = parse_input(path, &bytes)?;
     println!("{path}: {} bytes", bytes.len());
     println!(
         "  type:  {}",
@@ -182,15 +205,16 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 fn cmd_disasm(args: &Args) -> Result<(), String> {
     args.check_flags(&["limit"])?;
     let path = args.positional.first().ok_or("disasm requires BINARY")?;
-    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
-    let disasm = e9front::disassemble_text(&bytes).map_err(|e| e.to_string())?;
+    let bytes = read_input(path)?;
+    // Parse first so a non-ELF file is diagnosed by name, then sweep.
+    let elf = parse_input(path, &bytes)?;
+    let disasm = e9front::disassemble_text(&bytes).map_err(|e| format!("{path}: {e}"))?;
     let limit: usize = args
         .value("limit")
         .map(|s| s.parse().map_err(|_| "bad --limit"))
         .transpose()?
         .unwrap_or(usize::MAX);
     // Annotate function starts with their symbols when present.
-    let elf = e9elf::Elf::parse(&bytes).map_err(|e| e.to_string())?;
     let symbols = e9elf::symbols::parse(&elf);
     let by_addr: std::collections::HashMap<u64, &str> =
         symbols.iter().map(|s| (s.value, s.name.as_str())).collect();
@@ -242,7 +266,9 @@ fn cmd_patch(args: &Args) -> Result<(), String> {
     ])?;
     let path = args.positional.first().ok_or("patch requires BINARY")?;
     let out_path = args.value("out").ok_or("patch requires -o OUT")?;
-    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    let bytes = read_input(path)?;
+    // Fail on a non-ELF input before any backend/daemon work starts.
+    parse_input(path, &bytes)?;
 
     let app = match args.value("app").unwrap_or("a1") {
         "a1" => Application::A1Jumps,
@@ -285,9 +311,10 @@ fn cmd_patch(args: &Args) -> Result<(), String> {
                 .map_err(|e| e.to_string())?
         }
     };
-    std::fs::write(out_path, &res.rewrite.binary).map_err(|e| e.to_string())?;
+    e9front::output::write_atomic(std::path::Path::new(out_path), &res.rewrite.binary)
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     if args.flag("verify") {
-        let orig = e9elf::Elf::parse(&bytes).map_err(|e| e.to_string())?;
+        let orig = parse_input(path, &bytes)?;
         let patched = e9elf::Elf::parse(&res.rewrite.binary).map_err(|e| e.to_string())?;
         let disasm = e9front::disassemble_text(&bytes).map_err(|e| e.to_string())?;
         match e9patch::verify::verify(
@@ -350,7 +377,7 @@ fn cmd_patch(args: &Args) -> Result<(), String> {
 fn cmd_run(args: &Args) -> Result<(), String> {
     args.check_flags(&["lowfat", "max-steps", "hex-output"])?;
     let path = args.positional.first().ok_or("run requires BINARY")?;
-    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    let bytes = read_input(path)?;
     let max_steps: u64 = args
         .value("max-steps")
         .map(|s| s.parse().map_err(|_| "bad --max-steps"))
@@ -360,7 +387,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if args.flag("lowfat") {
         vm.set_heap(Box::new(e9lowfat::LowFatAllocator::new()));
     }
-    e9vm::load_elf(&mut vm, &bytes).map_err(|e| e.to_string())?;
+    e9vm::load_elf(&mut vm, &bytes).map_err(|e| format!("{path}: {e}"))?;
     let r = vm.run(max_steps).map_err(|e| e.to_string())?;
     if args.flag("hex-output") {
         println!("output: {:02x?}", r.output);

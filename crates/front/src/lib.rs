@@ -24,6 +24,7 @@
 //! # }
 //! ```
 
+pub mod output;
 pub mod recursive;
 pub mod trace;
 
@@ -163,10 +164,18 @@ pub fn disassemble_text(binary: &[u8]) -> Result<Vec<Insn>, FrontError> {
     if let Some(note) = elf.section_bytes(".note.e9code") {
         let mut out = Vec::new();
         let mut used_note = false;
+        // Note contents are untrusted: a range is honoured only if both its
+        // end and the section end compute without wrapping.
+        let text_end = text.sh_addr.checked_add(text.sh_size);
         for pair in note.chunks_exact(16) {
             let nv = u64::from_le_bytes(pair[0..8].try_into().unwrap());
             let nl = u64::from_le_bytes(pair[8..16].try_into().unwrap());
-            if nv >= text.sh_addr && nv + nl <= text.sh_addr + text.sh_size {
+            let in_text = nv >= text.sh_addr
+                && nv
+                    .checked_add(nl)
+                    .zip(text_end)
+                    .is_some_and(|(end, te)| end <= te);
+            if in_text {
                 let start = (nv - text.sh_addr) as usize;
                 out.extend(linear_sweep(&bytes[start..start + nl as usize], nv));
                 used_note = true;

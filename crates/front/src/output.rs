@@ -1,0 +1,144 @@
+//! Crash-safe output writing.
+//!
+//! A rewriter that dies mid-write must not leave a truncated binary at
+//! the output path — a half-written executable is worse than no output,
+//! because it can look valid enough to ship. [`write_atomic`] gives the
+//! emit path the standard temp-file + fsync + rename discipline: at every
+//! instant the output path either does not exist, still holds its
+//! previous contents, or holds the complete new contents.
+//!
+//! The operation is split into *stage* (write and flush a temporary file
+//! in the destination directory) and *commit* (atomic rename over the
+//! destination), so the failure window can be tested: killing the process
+//! between the two steps leaves only a `.e9tmp` droppings file, never a
+//! damaged destination.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Name of the staging file for `path`: same directory (renames must not
+/// cross filesystems), process-id suffixed so concurrent writers to
+/// different outputs in one directory cannot collide.
+fn stage_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "out".to_string());
+    path.with_file_name(format!(".{name}.{}.e9tmp", std::process::id()))
+}
+
+/// Stage `bytes` for `path`: write them to a temporary file in the same
+/// directory and flush them to stable storage. Returns the staging path.
+///
+/// # Errors
+///
+/// Creation, write or sync failures; on failure the staging file is
+/// removed again.
+pub fn stage(path: &Path, bytes: &[u8]) -> io::Result<PathBuf> {
+    let tmp = stage_path(path);
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    })();
+    match result {
+        Ok(()) => Ok(tmp),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Commit a staged file over `path` (atomic rename), then best-effort
+/// flush the directory entry.
+///
+/// # Errors
+///
+/// Rename failures; on failure the staging file is removed again and the
+/// previous contents of `path` (if any) are untouched.
+pub fn commit(tmp: &Path, path: &Path) -> io::Result<()> {
+    if let Err(e) = fs::rename(tmp, path) {
+        let _ = fs::remove_file(tmp);
+        return Err(e);
+    }
+    // The rename is durable only once the directory is synced; failure
+    // here costs durability-on-power-loss, not consistency, so it is
+    // best-effort.
+    #[cfg(unix)]
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Write `bytes` to `path` crash-safely: stage + fsync + atomic rename.
+/// An interrupted write leaves `path` absent or fully intact (old or new
+/// contents), never truncated.
+///
+/// # Errors
+///
+/// Staging or rename failures; `path` is untouched on error.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = stage(path, bytes)?;
+    commit(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("e9front-output-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_fresh_file_and_leaves_no_droppings() {
+        let d = tmpdir("fresh");
+        let out = d.join("a.bin");
+        write_atomic(&out, b"hello").unwrap();
+        assert_eq!(fs::read(&out).unwrap(), b"hello");
+        let others: Vec<_> = fs::read_dir(&d)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "a.bin")
+            .collect();
+        assert!(others.is_empty(), "staging droppings left: {others:?}");
+    }
+
+    #[test]
+    fn replaces_existing_file_completely() {
+        let d = tmpdir("replace");
+        let out = d.join("a.bin");
+        fs::write(&out, vec![0xAA; 4096]).unwrap();
+        write_atomic(&out, b"short").unwrap();
+        assert_eq!(fs::read(&out).unwrap(), b"short");
+    }
+
+    #[test]
+    fn staged_but_uncommitted_leaves_destination_alone() {
+        // The crash window: a process dying after stage() but before
+        // commit() must leave the old output intact.
+        let d = tmpdir("window");
+        let out = d.join("a.bin");
+        fs::write(&out, b"previous").unwrap();
+        let tmp = stage(&out, b"next").unwrap();
+        assert_eq!(fs::read(&out).unwrap(), b"previous");
+        commit(&tmp, &out).unwrap();
+        assert_eq!(fs::read(&out).unwrap(), b"next");
+    }
+
+    #[test]
+    fn failed_stage_removes_droppings_and_keeps_destination() {
+        let d = tmpdir("fail");
+        let out = d.join("no-such-dir").join("a.bin");
+        assert!(write_atomic(&out, b"x").is_err());
+        assert!(!out.exists());
+    }
+}

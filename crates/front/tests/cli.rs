@@ -259,3 +259,107 @@ fn patch_verify_flag() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("verify: OK"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Run a subcommand against `input`, expecting exit code 1 and a stderr
+/// diagnostic containing every fragment in `expect`.
+fn assert_diagnostic(cmd_args: &[&str], input: &std::path::Path, expect: &[&str]) {
+    let mut cmd = e9tool();
+    cmd.arg(cmd_args[0]).arg(input);
+    for a in &cmd_args[1..] {
+        cmd.arg(a);
+    }
+    let out = cmd.output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{cmd_args:?} on {} should exit 1: {out:?}",
+        input.display()
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for frag in expect {
+        assert!(
+            stderr.contains(frag),
+            "{cmd_args:?} diagnostic missing {frag:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn directory_input_gets_a_clear_diagnostic() {
+    let dir = tmpdir("dir-input");
+    for args in [
+        &["info"][..],
+        &["disasm"],
+        &["run"],
+        &["patch", "-o", "/tmp/never-written.e9"],
+    ] {
+        assert_diagnostic(args, &dir, &["is a directory", "not an ELF binary"]);
+    }
+    assert!(!std::path::Path::new("/tmp/never-written.e9").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_input_gets_a_clear_diagnostic() {
+    let dir = tmpdir("empty-input");
+    let empty = dir.join("empty.bin");
+    std::fs::write(&empty, b"").unwrap();
+    for args in [
+        &["info"][..],
+        &["disasm"],
+        &["run"],
+        &["patch", "-o", "/tmp/never-written.e9"],
+    ] {
+        assert_diagnostic(args, &empty, &["is empty"]);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn non_elf_input_gets_a_clear_diagnostic() {
+    let dir = tmpdir("non-elf-input");
+    let text = dir.join("notes.txt");
+    std::fs::write(&text, b"just some text, definitely not an executable\n").unwrap();
+    for args in [
+        &["info"][..],
+        &["disasm"],
+        &["patch", "-o", "/tmp/never-written.e9"],
+    ] {
+        assert_diagnostic(args, &text, &["notes.txt", "not a valid ELF binary"]);
+    }
+    // `run` goes through the loader; the message differs but the contract
+    // (exit 1, named file, no panic) is the same.
+    assert_diagnostic(&["run"], &text, &["notes.txt"]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failed_patch_preserves_preexisting_output() {
+    // Crash-safety contract at the CLI level: when the rewrite fails, an
+    // output file from an earlier run must survive untouched.
+    let dir = tmpdir("preserve-output");
+    let bad = dir.join("bad.bin");
+    std::fs::write(&bad, b"not an elf").unwrap();
+    let out_path = dir.join("out.e9");
+    std::fs::write(&out_path, b"precious previous output").unwrap();
+    let out = e9tool()
+        .arg("patch")
+        .arg(&bad)
+        .arg("-o")
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(
+        std::fs::read(&out_path).unwrap(),
+        b"precious previous output"
+    );
+    // And no staging droppings either.
+    let droppings: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".e9tmp"))
+        .collect();
+    assert!(droppings.is_empty(), "staging droppings: {droppings:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

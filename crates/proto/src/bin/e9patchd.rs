@@ -11,8 +11,19 @@
 //!
 //! A client `shutdown` command stops the daemon cleanly; `--max-conns N`
 //! exits after `N` connections (handy for CI smoke stages).
+//!
+//! Hardening knobs (all have safe defaults):
+//!
+//! * `--timeout-ms N` — per-connection socket read/write timeout in
+//!   milliseconds (default 30000; `0` disables). A client that connects
+//!   and stalls is dropped instead of pinning a server thread.
+//! * `--max-line-bytes N` — longest accepted request line (default
+//!   67108864 = 64 MiB). Longer lines are drained and answered with a
+//!   typed `LIMIT` error; the connection survives.
 
+use e9proto::server::ServeConfig;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -20,7 +31,11 @@ fn usage() -> ExitCode {
 
 USAGE:
   e9patchd [--stdio]                        serve one session on stdio
-  e9patchd --socket PATH [--max-conns N]    serve a Unix socket",
+  e9patchd --socket PATH [--max-conns N]    serve a Unix socket
+
+OPTIONS:
+  --timeout-ms N        socket read/write timeout in ms (default 30000, 0 = none)
+  --max-line-bytes N    longest accepted request line (default 67108864)",
         e9proto::PROTOCOL_VERSION
     );
     ExitCode::from(2)
@@ -31,6 +46,7 @@ fn main() -> ExitCode {
     let mut socket: Option<String> = None;
     let mut max_conns: Option<usize> = None;
     let mut stdio = false;
+    let mut config = ServeConfig::default();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -49,6 +65,21 @@ fn main() -> ExitCode {
                 }
                 i += 2;
             }
+            "--timeout-ms" if i + 1 < argv.len() => {
+                match argv[i + 1].parse::<u64>() {
+                    Ok(0) => config.io_timeout = None,
+                    Ok(ms) => config.io_timeout = Some(Duration::from_millis(ms)),
+                    Err(_) => return usage(),
+                }
+                i += 2;
+            }
+            "--max-line-bytes" if i + 1 < argv.len() => {
+                match argv[i + 1].parse::<usize>() {
+                    Ok(n) if n > 0 => config.max_line_bytes = n,
+                    _ => return usage(),
+                }
+                i += 2;
+            }
             _ => return usage(),
         }
     }
@@ -64,14 +95,14 @@ fn main() -> ExitCode {
                 path.display(),
                 e9proto::PROTOCOL_VERSION
             );
-            e9proto::server::unix::serve_unix(&path, max_conns)
+            e9proto::server::unix::serve_unix_with(&path, max_conns, &config)
         }
         #[cfg(not(unix))]
         Some(_) => {
             eprintln!("e9patchd: --socket is only supported on Unix");
             return ExitCode::from(2);
         }
-        None => e9proto::server::serve_stdio(),
+        None => e9proto::server::serve_stdio_with(&config),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -120,6 +120,39 @@ impl ProtoClient {
         })
     }
 
+    /// Connect to a daemon's Unix socket, retrying with bounded doubling
+    /// backoff while the daemon is still starting up (socket file absent
+    /// or not yet listening).
+    ///
+    /// Sleeps roughly 20 ms, 40 ms, 80 ms, ... between attempts, capped
+    /// at 1 s per wait and `attempts` tries overall, so a daemon that
+    /// never comes up fails the connect in bounded time instead of
+    /// hanging the frontend.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's connection failure.
+    #[cfg(unix)]
+    pub fn connect_unix_retry(
+        path: &std::path::Path,
+        attempts: u32,
+    ) -> Result<ProtoClient, ClientError> {
+        let mut wait = std::time::Duration::from_millis(20);
+        let cap = std::time::Duration::from_secs(1);
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(wait);
+                wait = (wait * 2).min(cap);
+            }
+            match ProtoClient::connect_unix(path) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one connect attempt"))
+    }
+
     /// A loopback backend: a server thread on the far end of a socket
     /// pair. The thread exits when the client drops (EOF on its stream).
     ///

@@ -48,6 +48,14 @@ pub mod code {
     pub const VERSION: i64 = -3;
     /// Instruction bytes did not decode (or decoded to a different length).
     pub const DECODE: i64 = -4;
+    /// A per-session resource quota was exceeded (request line too long,
+    /// too many patches/instructions, binary too big, ...). The offending
+    /// command is rejected; the session itself stays serviceable.
+    pub const LIMIT: i64 = -5;
+    /// The server recovered from an internal fault while handling the
+    /// command (panic isolation). The session survives; the command did
+    /// not take effect.
+    pub const INTERNAL: i64 = -6;
 }
 
 /// Lowercase hex encoding for binary payloads.

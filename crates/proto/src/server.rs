@@ -9,11 +9,115 @@
 
 use crate::json;
 use crate::msg::{code, Request, Response, RpcError};
-use crate::session::Session;
+use crate::session::{Session, SessionLimits};
 use std::io::{self, BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Serving-path hardening knobs: everything a hostile or broken client can
+/// exhaust is bounded here, not in the session state machine.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Longest accepted request line in bytes, newline included. Binaries
+    /// travel hex-encoded on one line, so this caps the largest `binary`
+    /// payload at roughly half this value; raise it (or `e9patchd
+    /// --max-line-bytes`) for very large inputs. Oversized lines are
+    /// drained and answered with a [`code::LIMIT`] error; the connection
+    /// stays up.
+    pub max_line_bytes: usize,
+    /// Per-session resource quotas, enforced by [`Session`].
+    pub limits: SessionLimits,
+    /// Socket read/write timeout (`None` = block forever). Only the Unix
+    /// socket transport can enforce this; stdio ignores it.
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_line_bytes: 64 << 20,
+            limits: SessionLimits::default(),
+            io_timeout: Some(Duration::from_millis(30_000)),
+        }
+    }
+}
+
+/// Outcome of one capped line read.
+enum LineRead {
+    /// Clean end of stream.
+    Eof,
+    /// A complete line is in the buffer.
+    Line,
+    /// The line exceeded the cap; it was drained up to its newline (or
+    /// EOF) and the buffer contents are meaningless.
+    Oversized,
+}
+
+/// Read one `\n`-terminated line into `buf`, refusing to buffer more than
+/// `cap` bytes. An over-long line is consumed (so the stream stays framed)
+/// but not stored.
+fn read_capped_line<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    cap: usize,
+) -> io::Result<LineRead> {
+    buf.clear();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line // unterminated final line
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let take = pos + 1;
+                let fits = buf.len().saturating_add(take) <= cap;
+                if fits {
+                    buf.extend_from_slice(&chunk[..take]);
+                }
+                reader.consume(take);
+                return Ok(if fits { LineRead::Line } else { LineRead::Oversized });
+            }
+            None => {
+                let take = chunk.len();
+                if buf.len().saturating_add(take) > cap {
+                    reader.consume(take);
+                    drain_to_newline(reader)?;
+                    return Ok(LineRead::Oversized);
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(take);
+            }
+        }
+    }
+}
+
+/// Discard stream bytes up to and including the next newline (or EOF).
+fn drain_to_newline<R: BufRead>(reader: &mut R) -> io::Result<()> {
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let n = chunk.len();
+                reader.consume(n);
+            }
+        }
+    }
+}
 
 /// Serve one session: read request lines from `reader`, write response
-/// lines to `writer`, until EOF or `shutdown`.
+/// lines to `writer`, until EOF or `shutdown`. Uses [`ServeConfig`]
+/// defaults; see [`serve_connection_with`].
 ///
 /// Returns `true` if the session ended because of a `shutdown` command.
 ///
@@ -22,17 +126,61 @@ use std::io::{self, BufRead, BufReader, Write};
 /// Only transport-level I/O failures; protocol errors are reported to the
 /// client in-band and never tear down the loop.
 pub fn serve_connection<R: BufRead, W: Write>(reader: &mut R, writer: &mut W) -> io::Result<bool> {
-    let mut session = Session::new();
+    serve_connection_with(reader, writer, &ServeConfig::default())
+}
+
+/// [`serve_connection`] with explicit hardening knobs.
+///
+/// Three classes of bad input are survived in-band, keeping the
+/// connection and the accept loop alive:
+///
+/// * request lines longer than `config.max_line_bytes` → drained,
+///   answered with [`code::LIMIT`];
+/// * malformed or over-quota requests → typed errors from
+///   [`dispatch_line`] / [`Session`];
+/// * a panic inside request handling → caught here, answered with
+///   [`code::INTERNAL`]. [`dispatch_line`] itself stays panic-free by
+///   construction (the fault-injection campaign drives it directly and
+///   treats any unwind as a bug); this catch is defence in depth so one
+///   connection's bug can never take the daemon down.
+///
+/// # Errors
+///
+/// Only transport-level I/O failures (including read timeouts configured
+/// on the underlying stream).
+pub fn serve_connection_with<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    config: &ServeConfig,
+) -> io::Result<bool> {
+    let mut session = Session::with_limits(config.limits.clone());
     let mut line = Vec::new();
     loop {
-        line.clear();
-        if reader.read_until(b'\n', &mut line)? == 0 {
-            return Ok(false); // EOF
-        }
-        if line.iter().all(|b| b.is_ascii_whitespace()) {
-            continue;
-        }
-        let response = dispatch_line(&mut session, &line);
+        let response = match read_capped_line(reader, &mut line, config.max_line_bytes)? {
+            LineRead::Eof => return Ok(false),
+            LineRead::Oversized => Response::err(
+                None,
+                RpcError::new(
+                    code::LIMIT,
+                    format!(
+                        "request line exceeds {} bytes; see --max-line-bytes",
+                        config.max_line_bytes
+                    ),
+                ),
+            ),
+            LineRead::Line => {
+                if line.iter().all(|b| b.is_ascii_whitespace()) {
+                    continue;
+                }
+                match catch_unwind(AssertUnwindSafe(|| dispatch_line(&mut session, &line))) {
+                    Ok(resp) => resp,
+                    Err(_) => Response::err(
+                        None,
+                        RpcError::new(code::INTERNAL, "internal error while handling request"),
+                    ),
+                }
+            }
+        };
         writer.write_all(response.encode().as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -93,11 +241,22 @@ fn trim_ascii(mut b: &[u8]) -> &[u8] {
 ///
 /// Transport-level I/O failures.
 pub fn serve_stdio() -> io::Result<()> {
+    serve_stdio_with(&ServeConfig::default())
+}
+
+/// [`serve_stdio`] with explicit hardening knobs. `config.io_timeout` is
+/// ignored: pipes have no portable read timeout, and the client owns the
+/// process anyway.
+///
+/// # Errors
+///
+/// Transport-level I/O failures.
+pub fn serve_stdio_with(config: &ServeConfig) -> io::Result<()> {
     let stdin = io::stdin();
     let stdout = io::stdout();
     let mut reader = stdin.lock();
     let mut writer = stdout.lock();
-    serve_connection(&mut reader, &mut writer)?;
+    serve_connection_with(&mut reader, &mut writer, config)?;
     Ok(())
 }
 
@@ -112,13 +271,38 @@ pub mod unix {
 
     /// Bind `path` and serve until a client sends `shutdown` or `max_conns`
     /// connections have been accepted (`None` = unlimited). The socket file
-    /// is replaced on bind and removed on exit.
+    /// is replaced on bind and removed on exit. Uses [`ServeConfig`]
+    /// defaults; see [`serve_unix_with`].
     ///
     /// # Errors
     ///
     /// Bind/accept failures. Per-connection I/O errors only end that
     /// connection.
     pub fn serve_unix(path: &Path, max_conns: Option<usize>) -> io::Result<()> {
+        serve_unix_with(path, max_conns, &ServeConfig::default())
+    }
+
+    /// [`serve_unix`] with explicit hardening knobs.
+    ///
+    /// Each accepted stream gets `config.io_timeout` as both its read and
+    /// write timeout, so a client that connects and then stalls (or stops
+    /// draining responses) is disconnected instead of pinning a server
+    /// thread forever. Connection threads are panic-isolated twice over:
+    /// request handling is caught inside [`serve_connection_with`], and a
+    /// residual unwind in the transport layer is caught here so it can
+    /// never poison the accept loop. On exit (shutdown or connection
+    /// budget) all live connection threads are joined — a graceful drain,
+    /// not an abort — before the socket file is removed.
+    ///
+    /// # Errors
+    ///
+    /// Bind/accept failures. Per-connection I/O errors only end that
+    /// connection.
+    pub fn serve_unix_with(
+        path: &Path,
+        max_conns: Option<usize>,
+        config: &ServeConfig,
+    ) -> io::Result<()> {
         let _ = std::fs::remove_file(path);
         let listener = UnixListener::bind(path)?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -133,8 +317,11 @@ pub mod unix {
             accepted += 1;
             let stop = Arc::clone(&stop);
             let wake = sockpath.clone();
+            let config = config.clone();
             handles.push(std::thread::spawn(move || {
-                if let Ok(true) = handle_stream(stream) {
+                let served =
+                    catch_unwind(AssertUnwindSafe(|| handle_stream(stream, &config)));
+                if let Ok(Ok(true)) = served {
                     stop.store(true, Ordering::SeqCst);
                     // Unblock the accept loop so it can observe the flag.
                     let _ = UnixStream::connect(&wake);
@@ -153,10 +340,12 @@ pub mod unix {
         Ok(())
     }
 
-    fn handle_stream(stream: UnixStream) -> io::Result<bool> {
+    fn handle_stream(stream: UnixStream, config: &ServeConfig) -> io::Result<bool> {
+        stream.set_read_timeout(config.io_timeout)?;
+        stream.set_write_timeout(config.io_timeout)?;
         let mut writer = stream.try_clone()?;
         let mut reader = BufReader::new(stream);
-        serve_connection(&mut reader, &mut writer)
+        serve_connection_with(&mut reader, &mut writer, config)
     }
 }
 
@@ -197,6 +386,33 @@ mod tests {
             responses[0].body.as_ref().unwrap_err().code,
             code::METHOD_NOT_FOUND
         );
+    }
+
+    #[test]
+    fn oversized_lines_get_limit_error_and_continue() {
+        let config = ServeConfig {
+            max_line_bytes: 128,
+            ..ServeConfig::default()
+        };
+        let big = "x".repeat(4096);
+        let input = format!(
+            "{{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"{big}\"}}\n\
+             {{\"jsonrpc\":\"2.0\",\"id\":2,\"method\":\"version\",\"params\":{{\"version\":1}}}}\n"
+        );
+        let mut reader = io::Cursor::new(input.into_bytes());
+        let mut out: Vec<u8> = Vec::new();
+        serve_connection_with(&mut reader, &mut out, &config).unwrap();
+        let responses: Vec<Response> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Response::decode(&json::parse(l.as_bytes()).unwrap()).unwrap())
+            .collect();
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].id, None);
+        assert_eq!(responses[0].body.as_ref().unwrap_err().code, code::LIMIT);
+        // The stream stayed framed: the next request still succeeds.
+        assert_eq!(responses[1].id, Some(2));
+        assert!(responses[1].body.is_ok());
     }
 
     #[test]

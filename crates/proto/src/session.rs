@@ -24,22 +24,79 @@ use e9patch::planner::AllocPolicy;
 use e9patch::{ExtraSegment, PatchRequest, RewriteConfig, Rewriter};
 use e9x86::insn::Insn;
 
+/// Per-session resource quotas. One hostile client must not be able to
+/// grow a session's buffers without bound: every intake command is checked
+/// against these caps and rejected with [`code::LIMIT`] when exceeded —
+/// the session itself stays usable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionLimits {
+    /// Largest accepted input binary, in bytes.
+    pub max_binary_bytes: usize,
+    /// Most `instruction` declarations per session.
+    pub max_insns: usize,
+    /// Most buffered `patch` requests per session.
+    pub max_patches: usize,
+    /// Most `reserve` segments per session.
+    pub max_extra_segments: usize,
+    /// Combined size of all `reserve` segment contents, in bytes.
+    pub max_extra_bytes: usize,
+}
+
+impl Default for SessionLimits {
+    fn default() -> SessionLimits {
+        SessionLimits {
+            max_binary_bytes: 256 << 20,
+            max_insns: 4_000_000,
+            max_patches: 1_000_000,
+            max_extra_segments: 64,
+            max_extra_bytes: 256 << 20,
+        }
+    }
+}
+
 /// One protocol session (one connection's worth of rewriter state).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Session {
     version: Option<u64>,
     binary: Option<Vec<u8>>,
     config: RewriteConfig,
     insns: Vec<Insn>,
     extra: Vec<ExtraSegment>,
+    extra_bytes: usize,
     patches: Vec<PatchRequest>,
+    limits: SessionLimits,
     shutdown: bool,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::with_limits(SessionLimits::default())
+    }
 }
 
 impl Session {
     /// A fresh session with the default rewriter configuration.
     pub fn new() -> Session {
         Session::default()
+    }
+
+    /// A fresh session with explicit resource quotas.
+    pub fn with_limits(limits: SessionLimits) -> Session {
+        Session {
+            version: None,
+            binary: None,
+            config: RewriteConfig::default(),
+            insns: Vec::new(),
+            extra: Vec::new(),
+            extra_bytes: 0,
+            patches: Vec::new(),
+            limits,
+            shutdown: false,
+        }
+    }
+
+    fn over_limit(what: &str, cap: usize) -> RpcError {
+        RpcError::new(code::LIMIT, format!("session quota exceeded: {what} (max {cap})"))
     }
 
     /// Whether a `shutdown` command has been handled.
@@ -68,6 +125,16 @@ impl Session {
                 exec,
                 write,
             } => {
+                if self.extra.len() >= self.limits.max_extra_segments {
+                    return Err(Self::over_limit(
+                        "reserve segments",
+                        self.limits.max_extra_segments,
+                    ));
+                }
+                if self.extra_bytes.saturating_add(bytes.len()) > self.limits.max_extra_bytes {
+                    return Err(Self::over_limit("reserve bytes", self.limits.max_extra_bytes));
+                }
+                self.extra_bytes += bytes.len();
                 self.extra.push(ExtraSegment {
                     vaddr,
                     bytes,
@@ -80,6 +147,9 @@ impl Session {
             Command::Patch { addr, template } => {
                 if self.binary.is_none() {
                     return Err(RpcError::state("patch before binary"));
+                }
+                if self.patches.len() >= self.limits.max_patches {
+                    return Err(Self::over_limit("patches", self.limits.max_patches));
                 }
                 self.patches.push(PatchRequest { addr, template });
                 Ok(Json::Obj(Vec::new()))
@@ -112,6 +182,9 @@ impl Session {
     fn binary_cmd(&mut self, bytes: Vec<u8>) -> Result<Json, RpcError> {
         if self.binary.is_some() {
             return Err(RpcError::state("binary already loaded"));
+        }
+        if bytes.len() > self.limits.max_binary_bytes {
+            return Err(Self::over_limit("binary bytes", self.limits.max_binary_bytes));
         }
         // Validate eagerly so the client hears about a bad image now, not
         // at emit time.
@@ -172,6 +245,9 @@ impl Session {
     fn instruction_cmd(&mut self, addr: u64, bytes: &[u8]) -> Result<Json, RpcError> {
         if self.binary.is_none() {
             return Err(RpcError::state("instruction before binary"));
+        }
+        if self.insns.len() >= self.limits.max_insns {
+            return Err(Self::over_limit("instructions", self.limits.max_insns));
         }
         let insn = e9x86::decode::decode(bytes, addr)
             .map_err(|e| RpcError::new(code::DECODE, format!("{addr:#x}: {e:?}")))?;

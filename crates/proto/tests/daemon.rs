@@ -102,6 +102,120 @@ fn unix_socket_daemon_matches_in_process_and_shuts_down() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A client dying mid-`patch` batch (disconnect with half a request line
+/// on the wire) must not take the daemon with it: a second client on the
+/// same socket completes the same job and gets byte-identical output.
+#[cfg(unix)]
+#[test]
+fn client_killed_mid_batch_does_not_poison_the_daemon() {
+    use std::io::Write;
+
+    let dir = std::env::temp_dir().join(format!("e9patchd-midbatch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("e9.sock");
+
+    let mut daemon = std::process::Command::new(daemon_path())
+        .arg("--socket")
+        .arg(&sock)
+        .arg("--timeout-ms")
+        .arg("5000")
+        .spawn()
+        .unwrap();
+
+    let (bin, disasm, sites) = workload();
+
+    // First client: raw stream, so the cut can land mid-line. Send the
+    // session preamble plus half of a patch request, then vanish.
+    {
+        let mut raw = ProtoClient::connect_unix_retry(&sock, 8).unwrap();
+        raw.negotiate().unwrap();
+        raw.binary(&bin).unwrap();
+        for i in &disasm {
+            raw.instruction(i.addr, i.bytes()).unwrap();
+        }
+        raw.patch(sites[0], Template::Empty).unwrap();
+    }
+    {
+        // And once more at the byte level: half a request line, no newline,
+        // then drop the stream (simulates SIGKILL between write and flush).
+        let mut stream = std::os::unix::net::UnixStream::connect(&sock).unwrap();
+        let line = "{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"version\",\"params\"";
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        // Dropped here: mid-line disconnect.
+    }
+
+    // Second client: the daemon must still serve a full job correctly.
+    let mut client = ProtoClient::connect_unix_retry(&sock, 8).unwrap();
+    let via = drive(&mut client, &bin, &disasm, &sites);
+    assert_eq!(via, reference(&bin, &disasm, &sites));
+
+    client.shutdown().unwrap();
+    drop(client);
+    for _ in 0..500 {
+        if daemon.try_wait().unwrap().is_some() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    if daemon.try_wait().unwrap().is_none() {
+        daemon.kill().ok();
+        panic!("daemon did not exit after shutdown");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Oversized request lines get a typed LIMIT error from the real daemon
+/// binary, and the session keeps working afterwards.
+#[cfg(unix)]
+#[test]
+fn daemon_rejects_oversized_lines_in_band() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let dir = std::env::temp_dir().join(format!("e9patchd-maxline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("e9.sock");
+
+    let mut daemon = std::process::Command::new(daemon_path())
+        .arg("--socket")
+        .arg(&sock)
+        .args(["--max-line-bytes", "4096", "--max-conns", "1"])
+        .spawn()
+        .unwrap();
+
+    for _ in 0..200 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let mut stream = std::os::unix::net::UnixStream::connect(&sock).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let big = format!(
+        "{{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"{}\"}}\n",
+        "x".repeat(8192)
+    );
+    stream.write_all(big.as_bytes()).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("-5"), "expected LIMIT error: {line}");
+
+    // Same connection still serves well-formed requests.
+    stream
+        .write_all(b"{\"jsonrpc\":\"2.0\",\"id\":2,\"method\":\"version\",\"params\":{\"version\":1}}\n")
+        .unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"id\":2"), "{line}");
+    assert!(line.contains("result"), "{line}");
+
+    drop(stream);
+    drop(reader);
+    let _ = daemon.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn version_mismatch_is_rejected() {
     use e9proto::msg::{code, Command};

@@ -17,17 +17,48 @@ use std::fmt;
 /// File descriptor the injected loader maps the binary through.
 pub const SELF_FD: u32 = 100;
 
+/// Largest memory image one `PT_LOAD` segment may request. A hostile
+/// `p_memsz` otherwise turns the per-page mapping loop into an OOM (one
+/// page-table entry per page, plus a zeroed private buffer for writable
+/// segments). Real workloads — chrome-scale profiles included — stay well
+/// under this.
+pub const MAX_SEGMENT_MEMSZ: u64 = 1 << 30;
+
+/// Largest combined memory image across all `PT_LOAD` segments.
+pub const MAX_TOTAL_MEMSZ: u64 = 1 << 32;
+
 /// Loading error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LoadError {
     /// Malformed ELF.
     Elf(ElfError),
+    /// A `PT_LOAD` segment's file range lies outside the binary image, its
+    /// address range wraps, or `p_filesz > p_memsz`.
+    SegmentBounds {
+        /// The offending segment's virtual address.
+        vaddr: u64,
+    },
+    /// A segment (or the whole image) asks for an implausible amount of
+    /// memory — see [`MAX_SEGMENT_MEMSZ`] / [`MAX_TOTAL_MEMSZ`].
+    SegmentTooBig {
+        /// The offending segment's virtual address.
+        vaddr: u64,
+        /// Its requested memory size.
+        memsz: u64,
+    },
 }
 
 impl fmt::Display for LoadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LoadError::Elf(e) => write!(f, "load failed: {e}"),
+            LoadError::SegmentBounds { vaddr } => {
+                write!(f, "load failed: segment at {vaddr:#x} out of file bounds")
+            }
+            LoadError::SegmentTooBig { vaddr, memsz } => write!(
+                f,
+                "load failed: segment at {vaddr:#x} requests {memsz:#x} bytes of memory"
+            ),
         }
     }
 }
@@ -40,13 +71,58 @@ impl From<ElfError> for LoadError {
     }
 }
 
+/// Validate one `PT_LOAD` header against the file image and the size caps
+/// before anything is mapped. Returns the page-rounded memory length.
+fn check_load_segment(ph: &e9elf::types::Phdr, file_len: usize, total: &mut u64) -> Result<u64, LoadError> {
+    let bounds = LoadError::SegmentBounds { vaddr: ph.p_vaddr };
+    // File range fully inside the image, and no more file than memory.
+    let file_end = ph
+        .p_offset
+        .checked_add(ph.p_filesz)
+        .ok_or(bounds.clone())?;
+    if file_end > file_len as u64 || ph.p_filesz > ph.p_memsz {
+        return Err(bounds.clone());
+    }
+    // Memory range must not wrap, even after page rounding.
+    let mem_end = ph.p_vaddr.checked_add(ph.p_memsz).ok_or(bounds.clone())?;
+    if mem_end.checked_add(0xFFF).is_none() {
+        return Err(bounds);
+    }
+    if ph.p_memsz > MAX_SEGMENT_MEMSZ {
+        return Err(LoadError::SegmentTooBig {
+            vaddr: ph.p_vaddr,
+            memsz: ph.p_memsz,
+        });
+    }
+    let vbase = e9elf::page_floor(ph.p_vaddr);
+    let mem_len = e9elf::page_ceil(mem_end) - vbase;
+    *total = total.saturating_add(mem_len);
+    if *total > MAX_TOTAL_MEMSZ {
+        return Err(LoadError::SegmentTooBig {
+            vaddr: ph.p_vaddr,
+            memsz: ph.p_memsz,
+        });
+    }
+    Ok(mem_len)
+}
+
 /// Load `binary` into `vm` and point `rip` at the entry point.
 ///
 /// # Errors
 ///
-/// Fails only on malformed ELF input.
+/// Fails on malformed ELF input, on segments whose file or memory ranges
+/// lie outside the image / wrap / exceed the size caps — never panics and
+/// never maps anything for a rejected image.
 pub fn load_elf(vm: &mut Vm, binary: &[u8]) -> Result<(), LoadError> {
     let elf = Elf::parse(binary)?;
+    // Validate every loadable segment up front: rejection must be atomic
+    // (no partially-mapped VM).
+    let mut total = 0u64;
+    for ph in &elf.phdrs {
+        if ph.p_type == PT_LOAD {
+            check_load_segment(ph, binary.len(), &mut total)?;
+        }
+    }
     let file_phys = vm.mem.add_phys(binary.to_vec());
     vm.self_fd_phys = Some(file_phys);
 
@@ -87,12 +163,14 @@ pub fn load_elf(vm: &mut Vm, binary: &[u8]) -> Result<(), LoadError> {
                 }
             }
             PT_NOTE => {
-                let lo = ph.p_offset as usize;
-                let hi = lo + ph.p_filesz as usize;
-                if hi <= binary.len() {
-                    if let Some(traps) = e9patch::rewriter::manifest::decode(&binary[lo..hi]) {
-                        vm.traps.extend(traps);
-                    }
+                // Untrusted offsets: a wrapped or out-of-file note range is
+                // silently skipped (notes are advisory, not loadable).
+                let note = usize::try_from(ph.p_offset)
+                    .ok()
+                    .zip(usize::try_from(ph.p_filesz).ok())
+                    .and_then(|(lo, sz)| binary.get(lo..lo.checked_add(sz)?));
+                if let Some(traps) = note.and_then(e9patch::rewriter::manifest::decode) {
+                    vm.traps.extend(traps);
                 }
             }
             _ => {}

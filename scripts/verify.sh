@@ -11,9 +11,13 @@
 #   4. e9patchd smoke: a daemon on a temp Unix socket patches the same
 #      binary through the wire protocol, byte-identical to step 3's
 #      in-process output, and shuts down cleanly
+#   5. fault-injection smoke: a seeded e9fault campaign (520 structured
+#      mutants across the ELF and wire surfaces) must complete with zero
+#      panics; failures print an E9FAULT_SEED replay line
 #
 # Knobs: E9QCHECK_CASES scales property-test depth (default 64);
-# E9_SEED pins the generator seed used by step 3's CLI runs.
+# E9_SEED pins the generator seed used by step 3's CLI runs;
+# E9FAULT_SEED pins the fault campaign seed used by step 5.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -55,5 +59,8 @@ done
 wait "$daemon_pid"
 cmp "$tmp/a.e9" "$tmp/a.wire.e9"
 echo "backend output byte-identical to in-process: ok"
+
+echo "== fault-injection smoke (E9FAULT_SEED=${E9FAULT_SEED:-42}) =="
+target/release/e9fault --seed "${E9FAULT_SEED:-42}" --elf-cases 320 --wire-cases 200
 
 echo "ALL CHECKS PASSED"
