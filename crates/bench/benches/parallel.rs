@@ -1,0 +1,69 @@
+//! Parallel planning: the sharded worker-pool pipeline at 1/2/4/8
+//! workers against the sequential planner, on two request shapes:
+//!
+//! * **dense** — every A1 jump site patched. Gaps never reach the
+//!   dependency horizon, the stream chains into one shard, and the
+//!   pipeline degenerates to sequential (the honest worst case);
+//! * **sparse** — every 8th site (selective instrumentation), which
+//!   cuts into many shards and can actually fan out across workers.
+//!
+//! Speedup additionally requires multiple physical cores; on a 1-core
+//! host every worker count should measure within noise of sequential,
+//! and the byte-identity contract is what the numbers certify.
+
+use e9bench::harness::{Harness, Throughput};
+use e9patch::planner::{PatchRequest, RewriteConfig};
+use e9patch::{Rewriter, Template};
+use e9synth::{generate, Preset, Profile};
+use std::hint::black_box;
+
+fn main() {
+    let mut h = Harness::from_args("parallel");
+    let profile = Profile::scaled(
+        "bench-par",
+        false,
+        Preset::Int,
+        e9synth::PaperRow {
+            size_mb: 1.0,
+            a1_loc: 36821,
+            a2_loc: 7522,
+            a1_succ: 100.0,
+            a2_succ: 100.0,
+        },
+        10,
+        0,
+        2,
+    );
+    let prog = generate(&profile);
+    let mut dense: Vec<PatchRequest> = prog
+        .disasm
+        .iter()
+        .filter(|i| i.kind.is_jump())
+        .map(|i| PatchRequest {
+            addr: i.addr,
+            template: Template::Empty,
+        })
+        .collect();
+    dense.sort_by_key(|r| r.addr);
+    let sparse: Vec<PatchRequest> = dense.iter().step_by(8).cloned().collect();
+
+    for (shape, reqs) in [("dense", &dense), ("sparse", &sparse)] {
+        h.throughput(Throughput::Elements(reqs.len() as u64));
+        for jobs in [None, Some(1usize), Some(2), Some(4), Some(8)] {
+            let cfg = RewriteConfig {
+                jobs,
+                ..RewriteConfig::default()
+            };
+            let label = match jobs {
+                None => format!("{shape}/seq"),
+                Some(n) => format!("{shape}/jobs{n}"),
+            };
+            h.bench(&label, || {
+                Rewriter::new(cfg)
+                    .rewrite(black_box(&prog.binary), &prog.disasm, reqs, &[])
+                    .unwrap()
+            });
+        }
+    }
+    h.finish();
+}

@@ -20,6 +20,13 @@ pub enum Error {
     Trampoline(String),
     /// Duplicate patch request for the same address.
     DuplicatePatch(u64),
+    /// A patch site's rel32 targets are mutually unreachable: no
+    /// trampoline address lies within ±2 GiB of all of them (only
+    /// degenerate disassembly can produce this).
+    UnreachableTargets(u64),
+    /// A planning worker thread panicked; the panic was caught at the
+    /// thread-pool boundary and converted into this error.
+    Internal(String),
 }
 
 impl fmt::Display for Error {
@@ -34,6 +41,10 @@ impl fmt::Display for Error {
             }
             Error::Trampoline(msg) => write!(f, "trampoline emission failed: {msg}"),
             Error::DuplicatePatch(a) => write!(f, "duplicate patch request at {a:#x}"),
+            Error::UnreachableTargets(a) => {
+                write!(f, "instruction at {a:#x} has mutually unreachable rel32 targets")
+            }
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }

@@ -69,6 +69,12 @@ impl LockMap {
         }
     }
 
+    /// Iterate over all locked bytes in unspecified order (diagnostics and
+    /// shard-fence verification).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, LockState)> + '_ {
+        self.locks.iter().map(|(&a, &s)| (a, s))
+    }
+
     /// Number of locked bytes (diagnostics).
     pub fn len(&self) -> usize {
         self.locks.len()
@@ -115,6 +121,59 @@ mod tests {
         l.lock_modified(0x3000, 1);
         l.lock_punned(0x3000, 1);
         assert_eq!(l.state(0x3000), Some(LockState::Modified));
+    }
+
+    #[test]
+    fn punned_then_modified_interleaving() {
+        // A pun locks successor bytes first; a later (lower-address) site
+        // must see them as unwritable and may not upgrade them blindly.
+        let mut l = LockMap::new();
+        l.lock_punned(0x5000, 4);
+        assert!(!l.can_write(0x5000, 4));
+        assert!(!l.can_write(0x4FFE, 3)); // straddles the punned start
+        assert!(l.can_write(0x4FFC, 4)); // ends exactly at the pun
+        // Writes next to (not into) the punned range then coexist.
+        l.lock_modified(0x4FFC, 4);
+        assert_eq!(l.state(0x4FFF), Some(LockState::Modified));
+        assert_eq!(l.state(0x5000), Some(LockState::Punned));
+    }
+
+    #[test]
+    fn overlapping_can_write_ranges_at_boundary() {
+        // Overlap queries at a shard-boundary-like split: every range that
+        // shares ≥ 1 byte with a locked run is rejected, adjacent ones are
+        // not, regardless of which side of the boundary they start on.
+        let mut l = LockMap::new();
+        l.lock_modified(0x8000, 2); // e.g. a J_short at a boundary site
+        l.lock_punned(0x8002, 3);
+        for (start, len, want) in [
+            (0x7FFE, 2, true),   // entirely below
+            (0x7FFF, 2, false),  // crosses into Modified
+            (0x8000, 5, false),  // exactly the locked run
+            (0x8001, 1, false),  // inside Modified
+            (0x8004, 1, false),  // last Punned byte
+            (0x8005, 4, true),   // entirely above
+            (0x7FFF, 7, false),  // superset
+        ] {
+            assert_eq!(l.can_write(start, len), want, "can_write({start:#x}, {len})");
+        }
+    }
+
+    #[test]
+    fn iter_reports_every_locked_byte() {
+        let mut l = LockMap::new();
+        l.lock_modified(0x9000, 2);
+        l.lock_punned(0x9005, 1);
+        let mut got: Vec<(u64, LockState)> = l.iter().collect();
+        got.sort_by_key(|(a, _)| *a);
+        assert_eq!(
+            got,
+            vec![
+                (0x9000, LockState::Modified),
+                (0x9001, LockState::Modified),
+                (0x9005, LockState::Punned),
+            ]
+        );
     }
 
     #[test]

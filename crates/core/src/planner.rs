@@ -7,7 +7,7 @@
 //! the trampoline [`AddressSpace`]. Tentative multi-step tactics (T3) are
 //! computed against byte overlays and rolled back cleanly on failure.
 
-use crate::layout::{AddressSpace, Window};
+use crate::layout::{AddressSpace, StripeMask, Window};
 use crate::lock::LockMap;
 use crate::pun::PunJump;
 use crate::stats::{PatchStats, TacticKind};
@@ -83,6 +83,11 @@ pub struct RewriteConfig {
     pub grouping: bool,
     /// Trampoline placement policy within pun windows.
     pub alloc_policy: AllocPolicy,
+    /// Parallel planning: `None` runs the sequential legacy planner;
+    /// `Some(n)` runs the sharded pipeline (see [`crate::shard`]) with up
+    /// to `n` worker threads. For a fixed input the sharded output is
+    /// byte-identical for every `n >= 1`.
+    pub jobs: Option<usize>,
 }
 
 impl Default for RewriteConfig {
@@ -93,6 +98,7 @@ impl Default for RewriteConfig {
             granularity: 1,
             grouping: true,
             alloc_policy: AllocPolicy::default(),
+            jobs: None,
         }
     }
 }
@@ -134,19 +140,22 @@ pub struct Planner<'a> {
     /// Per-site outcomes, in processing order.
     pub reports: Vec<SiteReport>,
     cfg: RewriteConfig,
+    /// Lane-ownership mask for parallel planning: wide-window allocations
+    /// are confined to owned stripe chunks (`None` = unrestricted).
+    mask: Option<StripeMask>,
+    /// In-place image writes `(addr, bytes)`, recorded when planning a
+    /// shard whose writes must later be replayed onto the master image.
+    journal: Option<Vec<(u64, Vec<u8>)>>,
 }
 
 impl<'a> Planner<'a> {
-    /// Create a planner over a parsed binary.
+    /// The address space trampolines may use for `elf`: everything except
+    /// the binary's own (guard-padded) load segments and the caller's
+    /// extra `reserved` ranges, rounded out to block granularity.
     ///
     /// `reserved` lists extra `[start, end)` virtual ranges trampolines must
     /// avoid (instrumentation runtime segments, etc.).
-    pub fn new(
-        elf: Elf,
-        insns: &'a BTreeMap<u64, Insn>,
-        cfg: RewriteConfig,
-        reserved: &[(u64, u64)],
-    ) -> Planner<'a> {
+    pub fn initial_space(elf: &Elf, cfg: &RewriteConfig, reserved: &[(u64, u64)]) -> AddressSpace {
         // Reservations are rounded out to *block* granularity (M pages):
         // the loader later maps whole blocks with MAP_FIXED, so no block
         // containing a trampoline may overlap existing segments.
@@ -162,16 +171,46 @@ impl<'a> Planner<'a> {
         for &(s, e) in reserved {
             space.reserve(block_floor(s), block_ceil(e));
         }
+        space
+    }
+
+    /// Create a planner over a parsed binary.
+    ///
+    /// `reserved` lists extra `[start, end)` virtual ranges trampolines must
+    /// avoid (instrumentation runtime segments, etc.).
+    pub fn new(
+        elf: Elf,
+        insns: &'a BTreeMap<u64, Insn>,
+        cfg: RewriteConfig,
+        reserved: &[(u64, u64)],
+    ) -> Planner<'a> {
+        let space = Self::initial_space(&elf, &cfg, reserved);
+        Self::with_space(elf, insns, cfg, space, None)
+    }
+
+    /// Create a planner over a pre-built address space — the parallel
+    /// pipeline's entry point: each shard gets a clone of the initial
+    /// space plus its lane's stripe `mask`, and writes are journaled for
+    /// replay onto the master image at merge time.
+    pub fn with_space(
+        elf: Elf,
+        insns: &'a BTreeMap<u64, Insn>,
+        cfg: RewriteConfig,
+        space: AddressSpace,
+        mask: Option<StripeMask>,
+    ) -> Planner<'a> {
         Planner {
             elf,
             insns,
             locks: LockMap::new(),
-            space: AddressSpace::clone(&space),
+            space,
             trampolines: Vec::new(),
             stats: PatchStats::default(),
             traps: Vec::new(),
             reports: Vec::new(),
             cfg,
+            mask,
+            journal: mask.map(|_| Vec::new()),
         }
     }
 
@@ -192,11 +231,33 @@ impl<'a> Planner<'a> {
         self.elf
             .write_at(addr, bytes)
             .expect("planner writes stay within file-backed segments");
+        if let Some(journal) = &mut self.journal {
+            journal.push((addr, bytes.to_vec()));
+        }
     }
 
     /// Allocate trampoline space inside `window` per the configured
     /// placement policy.
+    ///
+    /// Under a lane mask, windows wide enough to be guaranteed an owned
+    /// stripe chunk allocate masked (collision-free across lanes by
+    /// construction); narrow windows — T1's `256^f` pun windows and exact
+    /// `f = 0` addresses — cannot honour a stripe, so they allocate
+    /// unmasked and the rare cross-lane collision is detected and repaired
+    /// deterministically at merge time (see [`crate::shard`]).
     fn alloc(&mut self, window: Window, size: u64) -> Option<u64> {
+        if let Some(mask) = self.mask {
+            if window.len() >= mask.wide_min() && size <= mask.chunk() {
+                return match self.cfg.alloc_policy {
+                    AllocPolicy::FirstFitLow => {
+                        self.space.alloc_in_masked(window, size, 1, &mask)
+                    }
+                    AllocPolicy::FirstFitHigh => {
+                        self.space.alloc_in_high_masked(window, size, 1, &mask)
+                    }
+                };
+            }
+        }
         match self.cfg.alloc_policy {
             AllocPolicy::FirstFitLow => self.space.alloc_in(window, size, 1),
             AllocPolicy::FirstFitHigh => self.space.alloc_in_high(window, size, 1),
@@ -220,12 +281,19 @@ impl<'a> Planner<'a> {
                 }
             }
         }
-        if targets.is_empty() {
-            return Some(Window::all());
+        // Structurally panic-free bounds fold: an empty target set means
+        // the trampoline is unconstrained (e.g. `ret`), and a non-empty
+        // one yields `[max - REACH, min + REACH)` without any `unwrap`.
+        let bounds = targets
+            .iter()
+            .fold(None, |acc: Option<(u64, u64)>, &t| match acc {
+                None => Some((t, t)),
+                Some((min, max)) => Some((min.min(t), max.max(t))),
+            });
+        match bounds {
+            None => Some(Window::all()),
+            Some((min, max)) => Window::from_i128(max as i128 - REACH, min as i128 + REACH),
         }
-        let lo = *targets.iter().max().unwrap() as i128 - REACH;
-        let hi = *targets.iter().min().unwrap() as i128 + REACH;
-        Window::from_i128(lo, hi)
     }
 
     /// Try to place a punned jump at `jump_addr` (owning `writable` bytes,
@@ -535,7 +603,10 @@ impl<'a> Planner<'a> {
     /// # Errors
     ///
     /// [`crate::Error::NoSuchInstruction`] if `addr` is not in the
-    /// disassembly info.
+    /// disassembly info; [`crate::Error::UnreachableTargets`] if the
+    /// instruction's rel32 targets are so far apart that no trampoline
+    /// address can reach them all (degenerate disassembly only — real
+    /// instructions span well under the ±2 GiB reach).
     pub fn patch_site(
         &mut self,
         addr: u64,
@@ -545,9 +616,11 @@ impl<'a> Planner<'a> {
             .insns
             .get(&addr)
             .ok_or(crate::error::Error::NoSuchInstruction(addr))?;
+        let Some(reach) = Self::reach_window(&insn) else {
+            return Err(crate::error::Error::UnreachableTargets(addr));
+        };
 
         let outcome = (|| {
-            let reach = Self::reach_window(&insn)?;
             let size_ub = trampoline::max_size(template, &insn);
             if let Some(k) = self.try_pun_tactics(&insn, template, reach, size_ub) {
                 return Some(k);
@@ -621,6 +694,7 @@ impl<'a> Planner<'a> {
             traps: self.traps,
             space: self.space,
             reports: self.reports,
+            journal: self.journal.unwrap_or_default(),
         }
     }
 }
@@ -640,4 +714,7 @@ pub struct PlannerParts {
     pub space: AddressSpace,
     /// Per-site outcomes.
     pub reports: Vec<SiteReport>,
+    /// In-place image writes, in commit order (empty unless the planner
+    /// was journaling for a parallel shard; see [`Planner::with_space`]).
+    pub journal: Vec<(u64, Vec<u8>)>,
 }

@@ -158,9 +158,16 @@ impl Rewriter {
             .map(|s| (s.vaddr, s.vaddr + s.bytes.len() as u64))
             .collect();
 
-        let mut planner = Planner::new(elf, &insns, self.cfg, &reserved);
-        planner.patch_all(requests)?;
-        let parts = planner.into_parts();
+        let parts = match self.cfg.jobs {
+            None => {
+                let mut planner = Planner::new(elf, &insns, self.cfg, &reserved);
+                planner.patch_all(requests)?;
+                planner.into_parts()
+            }
+            // Sharded parallel planning; output is identical for every
+            // worker count (see the determinism contract in `shard`).
+            Some(_) => crate::shard::plan_parallel(elf, &insns, self.cfg, &reserved, requests)?,
+        };
 
         // Physical page grouping over the placed trampolines.
         let grouping: Grouping =

@@ -1,0 +1,463 @@
+//! Parallel sharded S1 planning.
+//!
+//! S1 (reverse-order patching, §3.4) works because punning only creates
+//! dependencies on *successor* bytes: every byte a tactic reads, writes or
+//! locks for a patch site at `addr` lies in `[addr, addr + H)` for a
+//! horizon `H` derived from the tactic geometry (see
+//! [`dependency_horizon`]). Two sites further than `H` apart are therefore
+//! independent, and the address-sorted patch stream can be cut into shards
+//! that plan concurrently.
+//!
+//! ## Determinism contract
+//!
+//! For a fixed input, the sharded pipeline's output is **byte-identical
+//! for every worker count**. Worker count only sizes the thread pool:
+//!
+//! * sharding and lane assignment depend only on the request addresses
+//!   (shard `i` is planned on lane `i % LANES`, with [`LANES`] fixed);
+//! * each lane plans against its own clone of the image and of the initial
+//!   address space, with wide-window allocations confined to the lane's
+//!   stripe chunks ([`StripeMask`]) so lanes cannot collide;
+//! * narrow windows (T1's `256^f` pun windows) cannot honour a stripe and
+//!   allocate unmasked; the rare cross-lane collision is detected by a
+//!   deterministic merge sweep in shard order, and any invalidated shard
+//!   is re-planned sequentially against the merged state;
+//! * outputs are stitched in shard (i.e. reverse address) order, so
+//!   reports, traps and the first-error choice match the sequential
+//!   processing order exactly.
+//!
+//! Sequential (`jobs: None`) and sharded (`jobs: Some(_)`) runs may place
+//! trampolines at different addresses (striping changes the first-fit
+//! cursor); tactic coverage — the Table-1 row — is recomputed from the
+//! merged shards.
+
+use crate::error::{Error, Result};
+use crate::layout::{AddressSpace, StripeMask};
+use crate::planner::{PatchRequest, Planner, PlannerParts, RewriteConfig, SiteReport};
+use crate::stats::PatchStats;
+use e9elf::{Elf, PAGE_SIZE};
+use e9x86::insn::Insn;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Number of independent planning lanes. Fixed (not the worker count!) so
+/// lane assignment — and therefore the output — never depends on how many
+/// threads actually run.
+pub const LANES: usize = 8;
+
+/// Stripe chunk size for lane-owned address ranges. One page comfortably
+/// holds any standard trampoline (the largest template upper bound is
+/// ~64 bytes plus the displaced instruction).
+const CHUNK: u64 = PAGE_SIZE;
+
+/// Maximum forward displacement of the rel8 `J_short` used by T3 (S1
+/// restricts rel8 to forward offsets, so only positive displacements
+/// extend the dependency range).
+const REL8_MAX_FORWARD: u64 = i8::MAX as u64;
+
+/// Length of a `jmpq rel32` (opcode + 32-bit displacement) — the widest
+/// thing a tactic writes or puns at any dependent address.
+const JMP_REL32_LEN: u64 = 1 + std::mem::size_of::<i32>() as u64;
+
+/// The forward dependency horizon `H`: every byte the planner reads,
+/// writes or locks while patching a site at `addr` lies in
+/// `[addr, addr + H)`.
+///
+/// Derived from the tactic definitions (§3.1–3.3), not hard-coded:
+///
+/// * B1/B2/T1 pun at the site itself: at most `padding + 5` bytes with
+///   `padding < max_insn_len`, i.e. `< max_insn_len + 4`.
+/// * T2 puns the *successor*: the farthest touched byte is
+///   `succ.end() + 4 < addr + 2·max_insn_len + 4`.
+/// * T3's `J_short` jumps up to `2 + rel8_max` forward, and `J_patch` is a
+///   punned rel32 jump there: `addr + 2 + rel8_max + jmp_rel32_len`.
+///
+/// T3 dominates for real instruction lengths, but the formula keeps the
+/// `max_insn_len` term so the bound stays safe if tactic geometry grows.
+pub fn dependency_horizon() -> u64 {
+    e9x86::MAX_INSN_LEN as u64 + REL8_MAX_FORWARD + JMP_REL32_LEN
+}
+
+/// Maximum forward extent of each tactic family, for the dominance test
+/// (`dependency_horizon()` must be ≥ all of these).
+#[cfg(test)]
+fn tactic_extents() -> [(&'static str, u64); 3] {
+    let l = e9x86::MAX_INSN_LEN as u64;
+    [
+        ("pun (B1/B2/T1)", l - 1 + JMP_REL32_LEN),
+        ("T2 successor eviction", 2 * l - 1 + JMP_REL32_LEN),
+        ("T3 neighbour eviction", 2 + REL8_MAX_FORWARD + JMP_REL32_LEN),
+    ]
+}
+
+/// Partition `requests` into S1-independent shards.
+///
+/// Returns shards in descending address order (shard 0 holds the highest
+/// addresses), each shard internally sorted descending — concatenating the
+/// shards reproduces the sequential planner's processing order. A shard
+/// boundary is cut wherever the gap between consecutive sites reaches
+/// [`dependency_horizon`].
+///
+/// # Errors
+///
+/// [`Error::DuplicatePatch`] on duplicate addresses (checked here so every
+/// worker sees pre-validated input).
+pub fn shard_requests(requests: &[PatchRequest]) -> Result<Vec<Vec<PatchRequest>>> {
+    let mut sorted: Vec<PatchRequest> = requests.to_vec();
+    sorted.sort_by_key(|r| std::cmp::Reverse(r.addr));
+    for w in sorted.windows(2) {
+        if w[0].addr == w[1].addr {
+            return Err(Error::DuplicatePatch(w[0].addr));
+        }
+    }
+    let h = dependency_horizon();
+    let mut shards: Vec<Vec<PatchRequest>> = Vec::new();
+    for req in sorted {
+        match shards.last_mut() {
+            // Descending order: the previous request is the next-higher
+            // site. Same shard iff its footprint can reach back past us.
+            Some(cur) if cur.last().is_some_and(|p| p.addr - req.addr < h) => cur.push(req),
+            _ => shards.push(vec![req]),
+        }
+    }
+    Ok(shards)
+}
+
+/// Render a caught panic payload as a message.
+fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
+    p.downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "worker panicked (non-string payload)".to_string())
+}
+
+/// Run `tasks` to completion on up to `workers` scoped threads.
+///
+/// Results are returned in task order regardless of scheduling. A panic in
+/// a task is caught at the pool boundary and surfaced as
+/// [`Error::Internal`] — never a hung join or a poisoned process.
+pub fn run_pool<T, F>(workers: usize, tasks: Vec<F>) -> Result<Vec<T>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    let workers = workers.clamp(1, n.max(1));
+    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(tasks.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<std::result::Result<T, String>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let task = match queue.lock() {
+                    Ok(mut q) => q.pop(),
+                    Err(_) => None,
+                };
+                let Some((i, task)) = task else { break };
+                let out = catch_unwind(AssertUnwindSafe(task)).map_err(panic_msg);
+                if let Ok(mut slot) = slots[i].lock() {
+                    *slot = Some(out);
+                }
+            });
+        }
+    });
+    let mut results = Vec::with_capacity(n);
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner() {
+            Ok(Some(Ok(v))) => results.push(v),
+            Ok(Some(Err(msg))) => {
+                return Err(Error::Internal(format!("planning worker panicked: {msg}")))
+            }
+            _ => return Err(Error::Internal(format!("planning task {i} never completed"))),
+        }
+    }
+    Ok(results)
+}
+
+/// One shard's planning output, tagged with its shard index.
+struct ShardRun {
+    shard: usize,
+    trampolines: Vec<(u64, Vec<u8>)>,
+    stats: PatchStats,
+    traps: Vec<(u64, u64)>,
+    reports: Vec<SiteReport>,
+    journal: Vec<(u64, Vec<u8>)>,
+}
+
+/// Plan all of a lane's shards (ascending shard index) against the lane's
+/// private image and space clones. On error, reports the index of the
+/// first failing shard so the merge can pick the globally-first error.
+#[allow(clippy::type_complexity)]
+fn run_lane(
+    lane: usize,
+    shard_indices: Vec<usize>,
+    mut elf: Elf,
+    mut space: AddressSpace,
+    insns: &BTreeMap<u64, Insn>,
+    cfg: RewriteConfig,
+    shards: &[Vec<PatchRequest>],
+) -> std::result::Result<Vec<ShardRun>, (usize, Error)> {
+    let mask = StripeMask::new(CHUNK, lane as u64, LANES as u64);
+    let mut runs = Vec::with_capacity(shard_indices.len());
+    for shard in shard_indices {
+        let mut planner = Planner::with_space(elf, insns, cfg, space, Some(mask));
+        if let Err(e) = planner.patch_all(&shards[shard]) {
+            return Err((shard, e));
+        }
+        let parts = planner.into_parts();
+        elf = parts.elf;
+        space = parts.space;
+        runs.push(ShardRun {
+            shard,
+            trampolines: parts.trampolines,
+            stats: parts.stats,
+            traps: parts.traps,
+            reports: parts.reports,
+            journal: parts.journal,
+        });
+    }
+    Ok(runs)
+}
+
+/// The parallel planning pipeline: shard → fan out over a scoped worker
+/// pool → deterministic merge. Drop-in replacement for
+/// `Planner::new(..).patch_all(..).into_parts()`; used by
+/// [`crate::Rewriter::rewrite`] when `cfg.jobs` is `Some(_)`.
+///
+/// # Errors
+///
+/// Same errors as the sequential planner, plus [`Error::Internal`] if a
+/// worker thread panics. When several shards fail, the error of the
+/// first shard in processing order is returned, matching sequential
+/// behaviour.
+pub fn plan_parallel(
+    elf: Elf,
+    insns: &BTreeMap<u64, Insn>,
+    cfg: RewriteConfig,
+    reserved: &[(u64, u64)],
+    requests: &[PatchRequest],
+) -> Result<PlannerParts> {
+    let jobs = cfg.jobs.unwrap_or(1).max(1);
+    let shards = shard_requests(requests)?;
+    let initial = Planner::initial_space(&elf, &cfg, reserved);
+
+    // Round-robin lane assignment: deterministic, and it balances lanes
+    // because neighbouring shards have similar site counts.
+    let mut lane_shards: Vec<Vec<usize>> = vec![Vec::new(); LANES];
+    for i in 0..shards.len() {
+        lane_shards[i % LANES].push(i);
+    }
+
+    let shards_ref = &shards;
+    let tasks: Vec<_> = lane_shards
+        .into_iter()
+        .enumerate()
+        .filter(|(_, list)| !list.is_empty())
+        .map(|(lane, list)| {
+            let lane_elf = elf.clone();
+            let lane_space = initial.clone();
+            move || run_lane(lane, list, lane_elf, lane_space, insns, cfg, shards_ref)
+        })
+        .collect();
+    let lane_results = run_pool(jobs, tasks)?;
+
+    // Gather shard runs; on failure surface the first error in shard
+    // (processing) order, as the sequential planner would.
+    let mut runs: Vec<ShardRun> = Vec::with_capacity(shards.len());
+    let mut first_err: Option<(usize, Error)> = None;
+    for r in lane_results {
+        match r {
+            Ok(list) => runs.extend(list),
+            Err((shard, e)) => {
+                if first_err.as_ref().is_none_or(|(s, _)| shard < *s) {
+                    first_err = Some((shard, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    runs.sort_by_key(|r| r.shard);
+
+    // Merge sweep, in shard order. A shard's net allocation footprint is
+    // exactly its trampoline extents (commit paths free slack, rollbacks
+    // free fully), so the master space is the initial space plus every
+    // kept shard's trampolines. A shard whose trampolines overlap
+    // already-merged state — possible only via narrow-window unmasked
+    // allocations — is invalidated for sequential re-planning.
+    let mut master_space = initial;
+    let mut replan: Vec<usize> = Vec::new();
+    for (pos, run) in runs.iter().enumerate() {
+        let fits = run
+            .trampolines
+            .iter()
+            .all(|(a, b)| master_space.is_free(*a, a.saturating_add(b.len() as u64)));
+        if fits {
+            for (a, b) in &run.trampolines {
+                master_space.reserve(*a, a.saturating_add(b.len() as u64));
+            }
+        } else {
+            replan.push(pos);
+        }
+    }
+
+    // Replay kept shards' image writes onto the master image.
+    let mut master = elf;
+    for (pos, run) in runs.iter().enumerate() {
+        if replan.binary_search(&pos).is_ok() {
+            continue;
+        }
+        for (addr, bytes) in &run.journal {
+            master
+                .write_at(*addr, bytes)
+                .map_err(|e| Error::Internal(format!("journal replay at {addr:#x}: {e}")))?;
+        }
+    }
+
+    // Re-plan invalidated shards sequentially against the merged state.
+    // Deterministic (shard order, no masking) and safe: the fence
+    // guarantees their reads are unaffected by other shards' writes.
+    for &pos in &replan {
+        let shard = runs[pos].shard;
+        let mut planner = Planner::with_space(master, insns, cfg, master_space, None);
+        planner.patch_all(&shards[shard])?;
+        let parts = planner.into_parts();
+        master = parts.elf;
+        master_space = parts.space;
+        runs[pos] = ShardRun {
+            shard,
+            trampolines: parts.trampolines,
+            stats: parts.stats,
+            traps: parts.traps,
+            reports: parts.reports,
+            journal: Vec::new(),
+        };
+    }
+
+    // Stitch outputs in shard (reverse address) order and recompute the
+    // aggregate statistics.
+    let mut parts = PlannerParts {
+        elf: master,
+        trampolines: Vec::new(),
+        stats: PatchStats::default(),
+        traps: Vec::new(),
+        space: master_space,
+        reports: Vec::new(),
+        journal: Vec::new(),
+    };
+    for run in runs {
+        parts.trampolines.extend(run.trampolines);
+        parts.stats.merge(&run.stats);
+        parts.traps.extend(run.traps);
+        parts.reports.extend(run.reports);
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trampoline::Template;
+
+    fn reqs(addrs: &[u64]) -> Vec<PatchRequest> {
+        addrs
+            .iter()
+            .map(|&addr| PatchRequest {
+                addr,
+                template: Template::Empty,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn horizon_dominates_every_tactic_extent() {
+        let h = dependency_horizon();
+        for (name, extent) in tactic_extents() {
+            assert!(extent < h, "{name}: extent {extent} >= horizon {h}");
+        }
+    }
+
+    #[test]
+    fn horizon_value_matches_derivation() {
+        // 15 (max insn len) + 127 (forward rel8) + 5 (jmp rel32).
+        assert_eq!(dependency_horizon(), 147);
+    }
+
+    #[test]
+    fn shards_cut_at_horizon_gaps() {
+        let h = dependency_horizon();
+        let base = 0x401000u64;
+        // Three clusters: [base, base+10], [base+h+10], [base+3h].
+        let shards = shard_requests(&reqs(&[
+            base,
+            base + 10,
+            base + 10 + h, // exactly h above the previous: must split
+            base + 3 * h,
+        ]))
+        .unwrap();
+        assert_eq!(shards.len(), 3);
+        // Descending shard order, descending within each shard.
+        assert_eq!(shards[0][0].addr, base + 3 * h);
+        assert_eq!(shards[1][0].addr, base + 10 + h);
+        assert_eq!(shards[2][0].addr, base + 10);
+        assert_eq!(shards[2][1].addr, base);
+    }
+
+    #[test]
+    fn gap_one_below_horizon_stays_joined() {
+        let h = dependency_horizon();
+        let shards = shard_requests(&reqs(&[0x401000, 0x401000 + h - 1])).unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].len(), 2);
+    }
+
+    #[test]
+    fn shard_detects_duplicates() {
+        let err = shard_requests(&reqs(&[0x401000, 0x401000])).unwrap_err();
+        assert_eq!(err, Error::DuplicatePatch(0x401000));
+    }
+
+    #[test]
+    fn chained_sites_within_horizon_share_a_shard() {
+        // Pairwise gaps below h chain transitively even when the shard
+        // ends up wider than h overall.
+        let h = dependency_horizon();
+        let addrs: Vec<u64> = (0..10).map(|i| 0x401000 + i * (h - 1)).collect();
+        let shards = shard_requests(&reqs(&addrs)).unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].len(), 10);
+    }
+
+    #[test]
+    fn run_pool_returns_results_in_task_order() {
+        for workers in [1, 4, 8] {
+            let tasks: Vec<_> = (0..20i32).map(|i| move || i * 2).collect();
+            assert_eq!(
+                run_pool(workers, tasks).unwrap(),
+                (0..40).step_by(2).collect::<Vec<i32>>()
+            );
+        }
+    }
+
+    #[test]
+    fn run_pool_catches_panics_as_typed_errors() {
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("shard exploded")),
+            Box::new(|| 3),
+        ];
+        let err = run_pool(4, tasks).unwrap_err();
+        match err {
+            Error::Internal(msg) => assert!(msg.contains("shard exploded"), "{msg}"),
+            other => panic!("expected Internal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_pool_empty_tasks() {
+        let tasks: Vec<fn() -> u8> = Vec::new();
+        assert_eq!(run_pool(4, tasks).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -62,6 +62,18 @@ impl PatchStats {
         self.failed += 1;
     }
 
+    /// Fold another run's counters into this one (used by the parallel
+    /// pipeline to recompute the Table-1 row from per-shard stats).
+    pub fn merge(&mut self, other: &PatchStats) {
+        self.b1 += other.b1;
+        self.b2 += other.b2;
+        self.t1 += other.t1;
+        self.t2 += other.t2;
+        self.t3 += other.t3;
+        self.b0 += other.b0;
+        self.failed += other.failed;
+    }
+
     /// Total number of patch locations (#Loc).
     pub fn total(&self) -> usize {
         self.b1 + self.b2 + self.t1 + self.t2 + self.t3 + self.b0 + self.failed

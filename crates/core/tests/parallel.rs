@@ -1,0 +1,273 @@
+//! Parallel sharded planning: the determinism contract (byte-identical
+//! output for every worker count), coverage parity with the sequential
+//! planner, shard-fence safety, and the panic-path regressions fixed in
+//! the same change.
+
+use e9patch::layout::StripeMask;
+use e9patch::planner::{PatchRequest, Planner, RewriteConfig};
+use e9patch::shard::{self, dependency_horizon};
+use e9patch::trampoline::Template;
+use e9patch::{Error, Rewriter};
+use e9synth::{generate, Preset, Profile};
+use e9x86::decode::linear_sweep;
+use e9x86::insn::Insn;
+use std::collections::BTreeMap;
+
+/// A synthetic corpus binary plus its A1 (jump sites) patch requests.
+fn corpus(scale: u64) -> (e9synth::SynthBinary, Vec<PatchRequest>) {
+    let profile = Profile::scaled(
+        "parallel-test",
+        false,
+        Preset::Int,
+        e9synth::PaperRow {
+            size_mb: 1.0,
+            a1_loc: 36821,
+            a2_loc: 7522,
+            a1_succ: 100.0,
+            a2_succ: 100.0,
+        },
+        scale,
+        0,
+        2,
+    );
+    let prog = generate(&profile);
+    let reqs: Vec<PatchRequest> = prog
+        .disasm
+        .iter()
+        .filter(|i| i.kind.is_jump())
+        .map(|i| PatchRequest {
+            addr: i.addr,
+            template: Template::Empty,
+        })
+        .collect();
+    (prog, reqs)
+}
+
+#[test]
+fn output_byte_identical_across_worker_counts() {
+    let (prog, dense) = corpus(400);
+    assert!(dense.len() > 32, "corpus too small: {}", dense.len());
+    // Dense = one shard; sparse = many shards spread over all lanes.
+    // Identity across worker counts must hold for both shapes.
+    for reqs in [&dense, &sparse(&dense)] {
+        let mut outputs = Vec::new();
+        for jobs in [1usize, 2, 4, 8] {
+            let cfg = RewriteConfig {
+                jobs: Some(jobs),
+                ..RewriteConfig::default()
+            };
+            let out = Rewriter::new(cfg)
+                .rewrite(&prog.binary, &prog.disasm, reqs, &[])
+                .expect("rewrite");
+            outputs.push((jobs, out));
+        }
+        let (_, first) = &outputs[0];
+        for (jobs, out) in &outputs[1..] {
+            assert_eq!(out.binary, first.binary, "jobs={jobs} binary differs");
+            assert_eq!(out.stats, first.stats, "jobs={jobs} stats differ");
+            assert_eq!(out.reports, first.reports, "jobs={jobs} reports differ");
+        }
+    }
+}
+
+#[test]
+fn parallel_coverage_matches_sequential() {
+    // Trampoline *addresses* may differ between the sequential and the
+    // striped parallel allocator, but the Table-1 row (which tactic
+    // patched each site) must not.
+    let (prog, dense) = corpus(400);
+    for reqs in [&dense, &sparse(&dense)] {
+        let seq = Rewriter::new(RewriteConfig::default())
+            .rewrite(&prog.binary, &prog.disasm, reqs, &[])
+            .expect("sequential rewrite");
+        let par = Rewriter::new(RewriteConfig {
+            jobs: Some(4),
+            ..RewriteConfig::default()
+        })
+        .rewrite(&prog.binary, &prog.disasm, reqs, &[])
+        .expect("parallel rewrite");
+        assert_eq!(par.stats, seq.stats);
+        // Site-by-site: same processing order, same tactic chosen.
+        assert_eq!(par.reports.len(), seq.reports.len());
+        for (p, s) in par.reports.iter().zip(&seq.reports) {
+            assert_eq!(p.addr, s.addr);
+            assert_eq!(p.tactic, s.tactic, "tactic differs at {:#x}", p.addr);
+        }
+    }
+}
+
+#[test]
+fn parallel_handles_empty_and_single_requests() {
+    let (prog, reqs) = corpus(400);
+    let cfg = RewriteConfig {
+        jobs: Some(4),
+        ..RewriteConfig::default()
+    };
+    let out = Rewriter::new(cfg)
+        .rewrite(&prog.binary, &prog.disasm, &[], &[])
+        .expect("empty request set");
+    assert_eq!(out.stats.total(), 0);
+    let one = Rewriter::new(cfg)
+        .rewrite(&prog.binary, &prog.disasm, &reqs[..1], &[])
+        .expect("single request");
+    assert_eq!(one.stats.total(), 1);
+}
+
+#[test]
+fn parallel_reports_first_error_in_processing_order() {
+    // Two bogus addresses landing in different shards: the parallel
+    // pipeline must report the same (first-processed, i.e. highest)
+    // address as the sequential planner.
+    let (prog, mut reqs) = corpus(400);
+    let h = dependency_horizon();
+    let max_site = reqs.iter().map(|r| r.addr).max().unwrap();
+    let bogus_low = max_site + 2 * h;
+    let bogus_high = max_site + 10 * h;
+    reqs.push(PatchRequest {
+        addr: bogus_low,
+        template: Template::Empty,
+    });
+    reqs.push(PatchRequest {
+        addr: bogus_high,
+        template: Template::Empty,
+    });
+    for jobs in [None, Some(4)] {
+        let cfg = RewriteConfig {
+            jobs,
+            ..RewriteConfig::default()
+        };
+        let err = Rewriter::new(cfg)
+            .rewrite(&prog.binary, &prog.disasm, &reqs, &[])
+            .unwrap_err();
+        assert_eq!(err, Error::NoSuchInstruction(bogus_high), "jobs={jobs:?}");
+    }
+}
+
+#[test]
+fn dense_corpus_chains_into_one_shard() {
+    // Patching *every* jump leaves no gap ≥ H anywhere, so the whole
+    // stream is one dependency chain — the cut must honour that (the
+    // worst case for parallelism, the safest for correctness).
+    let (_, reqs) = corpus(400);
+    let shards = shard::shard_requests(&reqs).expect("shard");
+    assert_eq!(shards.len(), 1);
+    assert_eq!(shards[0].len(), reqs.len());
+}
+
+/// Every 8th jump site — the selective-instrumentation shape, with
+/// inter-site gaps that regularly exceed the horizon.
+fn sparse(reqs: &[PatchRequest]) -> Vec<PatchRequest> {
+    let mut sorted = reqs.to_vec();
+    sorted.sort_by_key(|r| r.addr);
+    sorted.into_iter().step_by(8).collect()
+}
+
+#[test]
+fn shard_cut_respects_dependency_horizon() {
+    // Cross-shard fence: consecutive shards must be separated by at least
+    // the dependency horizon, and within a shard consecutive sites must
+    // be closer than the horizon.
+    let (_, all) = corpus(400);
+    let reqs = sparse(&all);
+    let shards = shard::shard_requests(&reqs).expect("shard");
+    assert!(shards.len() > 1, "sparse corpus produced a single shard");
+    let h = dependency_horizon();
+    for shard in &shards {
+        for w in shard.windows(2) {
+            assert!(w[0].addr - w[1].addr < h, "intra-shard gap >= horizon");
+        }
+    }
+    for pair in shards.windows(2) {
+        let lower_shard_max = pair[1].first().unwrap().addr;
+        let upper_shard_min = pair[0].last().unwrap().addr;
+        assert!(
+            upper_shard_min - lower_shard_max >= h,
+            "fence violation: shards {upper_shard_min:#x} / {lower_shard_max:#x} closer than {h}"
+        );
+    }
+}
+
+#[test]
+fn per_site_footprint_stays_below_horizon() {
+    // The fence is sound only if every tactic's writes and locks stay in
+    // [site, site + H). Patch each corpus site alone with a journaling
+    // planner and check the actual footprint against the derived bound.
+    let (prog, reqs) = corpus(400);
+    let elf = e9elf::Elf::parse(&prog.binary).expect("parse");
+    let insns: BTreeMap<u64, Insn> = prog.disasm.iter().map(|i| (i.addr, *i)).collect();
+    let cfg = RewriteConfig::default();
+    let h = dependency_horizon();
+    // A single all-owning lane enables journaling without masking effects.
+    let mask = StripeMask::new(4096, 0, 1);
+    for req in &reqs {
+        let space = Planner::initial_space(&elf, &cfg, &[]);
+        let mut planner = Planner::with_space(elf.clone(), &insns, cfg, space, Some(mask));
+        planner.patch_site(req.addr, &req.template).expect("site");
+        let hi = req.addr + h;
+        for (a, s) in planner.locks.iter() {
+            assert!(
+                a >= req.addr && a < hi,
+                "lock at {a:#x} ({s:?}) outside [{:#x}, {hi:#x})",
+                req.addr
+            );
+        }
+        let parts = planner.into_parts();
+        for (a, bytes) in &parts.journal {
+            let end = a + bytes.len() as u64;
+            assert!(
+                *a >= req.addr && end <= hi,
+                "write [{a:#x}, {end:#x}) outside [{:#x}, {hi:#x})",
+                req.addr
+            );
+        }
+    }
+}
+
+#[test]
+fn unreachable_targets_is_a_typed_error() {
+    // Regression for the reach-window panic path: an instruction decoded
+    // at a degenerate address above the 47-bit ceiling pushes its rel32
+    // targets out of every window — formerly this cascaded into unwraps,
+    // now it must be a typed error.
+    let code = vec![0x48, 0x89, 0x03, 0xC3]; // mov %rax,(%rbx); ret
+    let mut b = e9elf::build::ElfBuilder::exec(0x400000);
+    b.text(code.clone(), 0x401000);
+    b.entry(0x401000);
+    let input = b.build();
+    let elf = e9elf::Elf::parse(&input).expect("parse");
+
+    let weird = 0xFFFF_FFFF_FFFF_0000u64;
+    let mut insns: BTreeMap<u64, Insn> = linear_sweep(&code, 0x401000)
+        .into_iter()
+        .map(|i| (i.addr, i))
+        .collect();
+    for i in linear_sweep(&[0x48, 0x89, 0x03], weird) {
+        insns.insert(i.addr, i);
+    }
+    let mut planner = Planner::new(elf, &insns, RewriteConfig::default(), &[]);
+    let err = planner.patch_site(weird, &Template::Empty).unwrap_err();
+    assert_eq!(err, Error::UnreachableTargets(weird));
+}
+
+#[test]
+fn empty_target_set_does_not_panic() {
+    // Regression: `ret` has no rel32 targets; the old bounds code
+    // special-cased this ahead of a pair of `unwrap`s — the fold must
+    // yield the unconstrained window and patch normally.
+    let code = vec![0xC3, 0x90, 0x90, 0x90, 0x90]; // ret; nops
+    let mut b = e9elf::build::ElfBuilder::exec(0x400000);
+    b.text(code.clone(), 0x401000);
+    b.entry(0x401000);
+    let input = b.build();
+    let elf = e9elf::Elf::parse(&input).expect("parse");
+    let insns: BTreeMap<u64, Insn> = linear_sweep(&code, 0x401000)
+        .into_iter()
+        .map(|i| (i.addr, i))
+        .collect();
+    let mut planner = Planner::new(elf, &insns, RewriteConfig::default(), &[]);
+    // Outcome (patched or not) is irrelevant; reaching it without a panic
+    // or error is the contract.
+    planner
+        .patch_site(0x401000, &Template::Empty)
+        .expect("ret site must not error");
+}

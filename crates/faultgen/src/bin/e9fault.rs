@@ -21,16 +21,18 @@ fn usage() -> ExitCode {
         "e9fault — deterministic fault-injection campaigns
 
 USAGE:
-  e9fault [--seed N] [--elf-cases N] [--wire-cases N]
-  e9fault --surface elf|wire --case N [--seed N]   replay one case
+  e9fault [--seed N] [--elf-cases N] [--wire-cases N] [--jobs N]
+  e9fault --surface elf|wire --case N [--seed N] [--jobs N]   replay one case
   e9fault --write-corpus DIR                       regenerate hostile ELFs
 
+--jobs N makes the wire baseline select the parallel sharded planner
+(option jobs=N), so mutants exercise the worker-pool path.
 The seed defaults to ${ENV_SEED} (then 42). Exit 1 if any case panics."
     );
     ExitCode::from(2)
 }
 
-fn replay(seed: u64, surface: Surface, case: u32) -> ExitCode {
+fn replay(seed: u64, surface: Surface, case: u32, jobs: Option<usize>) -> ExitCode {
     let mut rng = case_rng(seed, surface, case);
     let outcome = match surface {
         Surface::Elf => {
@@ -39,7 +41,7 @@ fn replay(seed: u64, surface: Surface, case: u32) -> ExitCode {
             e9faultgen::elf_case(&mutant)
         }
         Surface::Wire => {
-            let mutant = wire::mutate(&mut rng, &wire::baseline_script());
+            let mutant = wire::mutate(&mut rng, &wire::baseline_script_with_jobs(jobs));
             eprintln!(
                 "e9fault: replaying wire case {case} ({} bytes)",
                 mutant.len()
@@ -96,6 +98,7 @@ fn main() -> ExitCode {
     let mut surface: Option<Surface> = None;
     let mut case: Option<u32> = None;
     let mut corpus_dir: Option<String> = None;
+    let mut jobs: Option<usize> = None;
     let mut i = 0;
     while i < argv.len() {
         let take = |i: usize| argv.get(i + 1).cloned();
@@ -139,6 +142,13 @@ fn main() -> ExitCode {
                 }
                 None => return usage(),
             },
+            "--jobs" => match take(i).and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => {
+                    jobs = Some(v);
+                    i += 2;
+                }
+                _ => return usage(),
+            },
             "--write-corpus" => match take(i) {
                 Some(d) => {
                     corpus_dir = Some(d);
@@ -157,16 +167,18 @@ fn main() -> ExitCode {
         let Some(surface) = surface else {
             return usage();
         };
-        return replay(seed, surface, case);
+        return replay(seed, surface, case, jobs);
     }
 
     let mut reports = Vec::new();
     match surface {
         Some(Surface::Elf) => reports.push(e9faultgen::run_elf_campaign(seed, elf_cases)),
-        Some(Surface::Wire) => reports.push(e9faultgen::run_wire_campaign(seed, wire_cases)),
+        Some(Surface::Wire) => {
+            reports.push(e9faultgen::run_wire_campaign_with_jobs(seed, wire_cases, jobs));
+        }
         None => {
             reports.push(e9faultgen::run_elf_campaign(seed, elf_cases));
-            reports.push(e9faultgen::run_wire_campaign(seed, wire_cases));
+            reports.push(e9faultgen::run_wire_campaign_with_jobs(seed, wire_cases, jobs));
         }
     }
     finish(&reports)

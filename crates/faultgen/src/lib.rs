@@ -203,7 +203,14 @@ pub fn elf_case(bytes: &[u8]) -> Outcome {
 /// well-formed request. Any unwind — and any post-mutation
 /// unserviceability — is recorded as a panic-class failure.
 pub fn run_wire_campaign(seed: u64, cases: u32) -> CampaignReport {
-    let script = wire::baseline_script();
+    run_wire_campaign_with_jobs(seed, cases, None)
+}
+
+/// [`run_wire_campaign`] over a baseline transcript that selects the
+/// parallel sharded planner (`option jobs=<n>`), so mutants exercise the
+/// worker-pool path — shard cut, lane planning, merge — under damage.
+pub fn run_wire_campaign_with_jobs(seed: u64, cases: u32, jobs: Option<usize>) -> CampaignReport {
+    let script = wire::baseline_script_with_jobs(jobs);
     run_campaign(Surface::Wire, seed, cases, |rng| {
         let mutant = wire::mutate(rng, &script);
         wire::wire_case(&mutant)

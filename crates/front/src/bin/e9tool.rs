@@ -23,7 +23,7 @@ USAGE:
   e9tool disasm BINARY [--limit N]
   e9tool patch BINARY -o OUT [--app a1|a2|a3|all] [--payload empty|counter|counters|lowfat|trace]
               [--no-t1] [--no-t2] [--no-t3] [--b0] [--granularity M] [--no-grouping]
-              [--report] [--verify] [--backend stdio|/path/to.sock]
+              [--jobs N] [--report] [--verify] [--backend stdio|/path/to.sock]
   e9tool run  BINARY [--lowfat] [--max-steps N] [--hex-output]
 
 `gen --profile` accepts any Table 1 row name (perlbench, gcc, chrome, ...).
@@ -51,7 +51,7 @@ impl Args {
                 let takes_value = matches!(
                     name,
                     "tiny" | "profile" | "scale" | "app" | "payload" | "granularity"
-                        | "max-steps" | "limit" | "backend"
+                        | "jobs" | "max-steps" | "limit" | "backend"
                 );
                 if takes_value && i + 1 < argv.len() {
                     flags.insert(name.to_string(), argv[i + 1].clone());
@@ -259,6 +259,7 @@ fn cmd_patch(args: &Args) -> Result<(), String> {
         "no-t3",
         "b0",
         "granularity",
+        "jobs",
         "no-grouping",
         "report",
         "verify",
@@ -298,6 +299,13 @@ fn cmd_patch(args: &Args) -> Result<(), String> {
             .map(|s| s.parse().map_err(|_| "bad --granularity"))
             .transpose()?
             .unwrap_or(1),
+        jobs: args
+            .value("jobs")
+            .map(|s| match s.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err("bad --jobs (want an integer >= 1)"),
+            })
+            .transpose()?,
         ..RewriteConfig::default()
     };
 

@@ -442,6 +442,9 @@ pub fn instrument_via_backend(
             e9patch::AllocPolicy::FirstFitHigh => "high",
         },
     )?;
+    if let Some(n) = cfg.jobs {
+        client.option("jobs", &n.to_string())?;
+    }
 
     client.binary(binary)?;
     for seg in &p.extra {

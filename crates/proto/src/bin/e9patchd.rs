@@ -20,6 +20,9 @@
 //! * `--max-line-bytes N` — longest accepted request line (default
 //!   67108864 = 64 MiB). Longer lines are drained and answered with a
 //!   typed `LIMIT` error; the connection survives.
+//! * `--jobs N` — default planner worker count for every session (the
+//!   parallel sharded pipeline; output is byte-identical for every N).
+//!   A client's explicit `option jobs` overrides it.
 
 use e9proto::server::ServeConfig;
 use std::process::ExitCode;
@@ -35,7 +38,8 @@ USAGE:
 
 OPTIONS:
   --timeout-ms N        socket read/write timeout in ms (default 30000, 0 = none)
-  --max-line-bytes N    longest accepted request line (default 67108864)",
+  --max-line-bytes N    longest accepted request line (default 67108864)
+  --jobs N              default planner worker count (default: sequential)",
         e9proto::PROTOCOL_VERSION
     );
     ExitCode::from(2)
@@ -76,6 +80,13 @@ fn main() -> ExitCode {
             "--max-line-bytes" if i + 1 < argv.len() => {
                 match argv[i + 1].parse::<usize>() {
                     Ok(n) if n > 0 => config.max_line_bytes = n,
+                    _ => return usage(),
+                }
+                i += 2;
+            }
+            "--jobs" if i + 1 < argv.len() => {
+                match argv[i + 1].parse::<usize>() {
+                    Ok(n) if n >= 1 => config.default_jobs = Some(n),
                     _ => return usage(),
                 }
                 i += 2;

@@ -30,6 +30,10 @@ pub struct ServeConfig {
     /// Socket read/write timeout (`None` = block forever). Only the Unix
     /// socket transport can enforce this; stdio ignores it.
     pub io_timeout: Option<Duration>,
+    /// Default planner worker count for every session served with this
+    /// config (`e9patchd --jobs`). A client's explicit `option jobs`
+    /// overrides it; `None` keeps the sequential planner.
+    pub default_jobs: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -38,6 +42,7 @@ impl Default for ServeConfig {
             max_line_bytes: 64 << 20,
             limits: SessionLimits::default(),
             io_timeout: Some(Duration::from_millis(30_000)),
+            default_jobs: None,
         }
     }
 }
@@ -154,6 +159,7 @@ pub fn serve_connection_with<R: BufRead, W: Write>(
     config: &ServeConfig,
 ) -> io::Result<bool> {
     let mut session = Session::with_limits(config.limits.clone());
+    session.set_default_jobs(config.default_jobs);
     let mut line = Vec::new();
     loop {
         let response = match read_capped_line(reader, &mut line, config.max_line_bytes)? {

@@ -95,6 +95,12 @@ impl Session {
         }
     }
 
+    /// Set a default worker count for planning, as if the client had sent
+    /// `option jobs=<n>`. A later explicit `option jobs` overrides it.
+    pub fn set_default_jobs(&mut self, jobs: Option<usize>) {
+        self.config.jobs = jobs;
+    }
+
     fn over_limit(what: &str, cap: usize) -> RpcError {
         RpcError::new(code::LIMIT, format!("session quota exceeded: {what} (max {cap})"))
     }
@@ -232,6 +238,14 @@ impl Session {
                         )))
                     }
                 };
+            }
+            "jobs" => {
+                let n: usize = value.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    RpcError::invalid_params(format!(
+                        "option jobs: want an integer >= 1, got {value:?}"
+                    ))
+                })?;
+                self.config.jobs = Some(n);
             }
             _ => {
                 return Err(RpcError::invalid_params(format!(
@@ -431,6 +445,38 @@ mod tests {
             })
             .unwrap_err();
         assert_eq!(e.code, code::INVALID_PARAMS);
+    }
+
+    #[test]
+    fn jobs_option_parses_and_rejects_zero() {
+        let mut s = Session::new();
+        s.handle(Command::Version { version: 1 }).unwrap();
+        s.handle(Command::Option {
+            name: "jobs".into(),
+            value: "4".into(),
+        })
+        .unwrap();
+        assert_eq!(s.config.jobs, Some(4));
+        for bad in ["0", "-1", "many"] {
+            let e = s
+                .handle(Command::Option {
+                    name: "jobs".into(),
+                    value: bad.into(),
+                })
+                .unwrap_err();
+            assert_eq!(e.code, code::INVALID_PARAMS, "value {bad:?}");
+        }
+        // The daemon-level default is overridable by the client.
+        let mut d = Session::new();
+        d.set_default_jobs(Some(8));
+        d.handle(Command::Version { version: 1 }).unwrap();
+        assert_eq!(d.config.jobs, Some(8));
+        d.handle(Command::Option {
+            name: "jobs".into(),
+            value: "2".into(),
+        })
+        .unwrap();
+        assert_eq!(d.config.jobs, Some(2));
     }
 
     #[test]

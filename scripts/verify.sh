@@ -14,6 +14,9 @@
 #   5. fault-injection smoke: a seeded e9fault campaign (520 structured
 #      mutants across the ELF and wire surfaces) must complete with zero
 #      panics; failures print an E9FAULT_SEED replay line
+#   6. parallel planning determinism: --jobs 1 and --jobs 4 must produce
+#      byte-identical patched binaries (and match the sequential output),
+#      plus a bench_parallel smoke run
 #
 # Knobs: E9QCHECK_CASES scales property-test depth (default 64);
 # E9_SEED pins the generator seed used by step 3's CLI runs;
@@ -62,5 +65,17 @@ echo "backend output byte-identical to in-process: ok"
 
 echo "== fault-injection smoke (E9FAULT_SEED=${E9FAULT_SEED:-42}) =="
 target/release/e9fault --seed "${E9FAULT_SEED:-42}" --elf-cases 320 --wire-cases 200
+target/release/e9fault --seed "${E9FAULT_SEED:-42}" --elf-cases 0 --wire-cases 120 --jobs 4
+
+echo "== parallel planning determinism (--jobs 1 vs --jobs 4) =="
+"${e9tool[@]}" patch "$tmp/a.elf" -o "$tmp/a.j1.e9" --app a1 --verify --jobs 1
+"${e9tool[@]}" patch "$tmp/a.elf" -o "$tmp/a.j4.e9" --app a1 --verify --jobs 4
+cmp "$tmp/a.j1.e9" "$tmp/a.j4.e9"
+"${e9tool[@]}" gen --profile perlbench --scale 200 -o "$tmp/p.elf"
+"${e9tool[@]}" patch "$tmp/p.elf" -o "$tmp/p.j1.e9" --app a1 --jobs 1
+"${e9tool[@]}" patch "$tmp/p.elf" -o "$tmp/p.j4.e9" --app a1 --jobs 4
+cmp "$tmp/p.j1.e9" "$tmp/p.j4.e9"
+echo "parallel output byte-identical across worker counts: ok"
+cargo bench -q --offline -p e9bench --bench parallel -- --smoke --no-json
 
 echo "ALL CHECKS PASSED"
