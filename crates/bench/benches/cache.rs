@@ -1,0 +1,73 @@
+//! Rewrite-cache performance: what a cache hit saves over a cold rewrite,
+//! and how fast the in-tree SHA-256 keys jobs.
+//!
+//! Three end-to-end patch configurations over the same workload: uncached
+//! (the PR-5 baseline), cold-through-cache (miss + store overhead on top
+//! of the rewrite), and warm (memory hit, and a disk hit through a fresh
+//! process-like cache with an empty memory tier). The digest bench bounds
+//! the fixed keying cost every cache-enabled patch pays.
+
+use e9bench::harness::{Harness, Throughput};
+use e9cache::{Cache, CacheConfig};
+use e9front::{instrument_cached, instrument_with_disasm, Application, Options, Payload};
+use e9synth::{generate, Profile};
+use std::hint::black_box;
+
+fn main() {
+    let mut h = Harness::from_args("cache");
+
+    let prog = generate(&Profile::tiny("bench-cache", false));
+    let sites = prog.disasm.iter().filter(|i| i.kind.is_jump()).count() as u64;
+    let opts = Options::new(Application::A1Jumps, Payload::Empty);
+
+    // Baseline: the plain in-process path, no cache in sight.
+    h.throughput(Throughput::Elements(sites));
+    h.bench(&format!("patch_uncached/{sites}"), || {
+        instrument_with_disasm(black_box(&prog.binary), &prog.disasm, &opts).unwrap()
+    });
+
+    // Cold: every iteration starts with an empty cache, so each one pays
+    // the full rewrite plus keying and store overhead.
+    h.throughput(Throughput::Elements(sites));
+    h.bench(&format!("patch_cold/{sites}"), || {
+        let cache = Cache::in_memory();
+        instrument_cached(black_box(&prog.binary), &prog.disasm, &opts, &cache).unwrap()
+    });
+
+    // Warm (memory tier): one shared primed cache; iterations measure the
+    // hit path — key derivation, lookup, reply decode.
+    let warm = Cache::in_memory();
+    instrument_cached(&prog.binary, &prog.disasm, &opts, &warm).unwrap();
+    h.throughput(Throughput::Elements(sites));
+    h.bench(&format!("patch_warm_mem/{sites}"), || {
+        instrument_cached(black_box(&prog.binary), &prog.disasm, &opts, &warm).unwrap()
+    });
+
+    // Warm (disk tier): the store is primed once on disk; every iteration
+    // opens a fresh cache (empty memory tier) the way a new `e9tool patch`
+    // process would, so the hit is served — and re-verified — from disk.
+    let dir = std::env::temp_dir().join(format!("e9bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let disk_config = CacheConfig {
+        dir: Some(dir.clone()),
+        ..CacheConfig::default()
+    };
+    let primer = Cache::open(&disk_config).unwrap();
+    instrument_cached(&prog.binary, &prog.disasm, &opts, &primer).unwrap();
+    drop(primer);
+    h.throughput(Throughput::Elements(sites));
+    h.bench(&format!("patch_warm_disk/{sites}"), || {
+        let cache = Cache::open(&disk_config).unwrap();
+        instrument_cached(black_box(&prog.binary), &prog.disasm, &opts, &cache).unwrap()
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Keying cost: in-tree SHA-256 throughput over a buffer the size of a
+    // respectable input binary.
+    const MIB: usize = 1 << 20;
+    let buf: Vec<u8> = (0..4 * MIB).map(|i| (i * 31 % 251) as u8).collect();
+    h.throughput(Throughput::Bytes(buf.len() as u64));
+    h.bench("sha256_digest/4MiB", || e9cache::digest(black_box(&buf)));
+
+    h.finish();
+}

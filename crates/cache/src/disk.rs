@@ -1,0 +1,574 @@
+//! The on-disk tier: a content-addressed store under one cache directory.
+//!
+//! ```text
+//! <root>/objects/ab/cdef….   one entry per rewrite key (fan-out on the
+//!                            first digest byte, git-object style)
+//! <root>/corrupt/<digest>    quarantined entries that failed verification
+//! <root>/index               append-only access journal (an LRU hint)
+//! <root>/lock                advisory lock for eviction/clear
+//! ```
+//!
+//! **Publish discipline.** Entries are published with the same
+//! temp + fsync + atomic-rename sequence as `e9front::output::write_atomic`
+//! (re-implemented here — the cache sits *below* the frontend in the crate
+//! graph): at every instant an object path either does not exist or holds
+//! a complete entry. Concurrent writers of the same key are harmless: both
+//! renames publish identical bytes, because keys address content produced
+//! by a deterministic pipeline.
+//!
+//! **Verification.** Every entry is stored as `E9CACHE1 ‖ sha256(payload)
+//! ‖ payload` and the checksum is recomputed on every read. A mismatch —
+//! truncation, bit rot, a torn write from a crashed foreign writer — is a
+//! typed [`CacheError::Corrupt`], never a panic: the entry is moved to
+//! `corrupt/` (keeping the evidence) and the caller falls back to a cold
+//! rewrite.
+//!
+//! **Eviction.** `evict_to_budget` is crash-tolerant by construction: the
+//! ground truth is a directory scan (sizes + mtimes), and the `index`
+//! journal only *refines* the victim order to true access recency. A
+//! missing, truncated or garbage index degrades to mtime order; a crash
+//! mid-eviction leaves a store that the next scan handles fine.
+
+use crate::sha256::{self, Digest};
+use crate::CacheError;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+/// Magic prefix of every on-disk entry.
+pub const MAGIC: &[u8; 8] = b"E9CACHE1";
+
+/// Fixed header length: magic + payload checksum.
+const HEADER_LEN: usize = 8 + 32;
+
+/// The on-disk content-addressed store.
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+    /// Total object bytes allowed (`None` = unbounded).
+    budget: Option<u64>,
+    /// Stale-lock steal threshold for the advisory lock.
+    lock_ttl: Duration,
+}
+
+/// One scanned object (eviction candidate).
+#[derive(Debug)]
+struct ScanEntry {
+    path: PathBuf,
+    digest_hex: String,
+    len: u64,
+    mtime: SystemTime,
+}
+
+impl DiskStore {
+    /// Open (creating directories as needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation failures.
+    pub fn open(root: &Path, budget: Option<u64>) -> Result<DiskStore, CacheError> {
+        let store = DiskStore {
+            root: root.to_path_buf(),
+            budget,
+            lock_ttl: Duration::from_secs(30),
+        };
+        fs::create_dir_all(store.objects_dir())
+            .map_err(|e| CacheError::io("create objects dir", e))?;
+        Ok(store)
+    }
+
+    fn objects_dir(&self) -> PathBuf {
+        self.root.join("objects")
+    }
+
+    fn corrupt_dir(&self) -> PathBuf {
+        self.root.join("corrupt")
+    }
+
+    fn index_path(&self) -> PathBuf {
+        self.root.join("index")
+    }
+
+    fn lock_path(&self) -> PathBuf {
+        self.root.join("lock")
+    }
+
+    /// Path of the object for `key`: `objects/ab/<62 hex>`.
+    pub fn object_path(&self, key: &Digest) -> PathBuf {
+        let hex = sha256::hex(key);
+        self.objects_dir().join(&hex[..2]).join(&hex[2..])
+    }
+
+    /// Fetch the payload stored for `key`.
+    ///
+    /// On a hit the access is journaled (index append + mtime bump) so
+    /// eviction sees true recency.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Corrupt`] when the entry fails verification (it has
+    /// already been quarantined); [`CacheError::Io`] for transport-level
+    /// failures. A missing entry is `Ok(None)`, not an error.
+    pub fn get(&self, key: &Digest) -> Result<Option<Vec<u8>>, CacheError> {
+        let path = self.object_path(key);
+        let raw = match fs::read(&path) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(CacheError::io("read cache entry", e)),
+        };
+        match decode_entry(&raw) {
+            Ok(payload) => {
+                self.touch(&path);
+                self.journal_access(key);
+                Ok(Some(payload))
+            }
+            Err(reason) => {
+                let quarantined = self.quarantine(key, &path);
+                Err(CacheError::Corrupt {
+                    digest: sha256::hex(key),
+                    reason,
+                    quarantined,
+                })
+            }
+        }
+    }
+
+    /// Publish `payload` under `key` (atomic rename), then journal the
+    /// access and evict down to the byte budget if one is set. Returns
+    /// the number of entries evicted by the post-put pass.
+    ///
+    /// # Errors
+    ///
+    /// Staging/rename failures. Eviction failures are swallowed (they
+    /// cost budget adherence until the next successful pass, not
+    /// correctness).
+    pub fn put(&self, key: &Digest, payload: &[u8]) -> Result<u64, CacheError> {
+        let path = self.object_path(key);
+        let dir = path.parent().expect("object path has a fan-out parent");
+        fs::create_dir_all(dir).map_err(|e| CacheError::io("create fan-out dir", e))?;
+        let tmp = dir.join(format!(
+            ".{}.{}.tmp",
+            path.file_name().expect("object file name").to_string_lossy(),
+            std::process::id()
+        ));
+        let staged: io::Result<()> = (|| {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(MAGIC)?;
+            f.write_all(&sha256::digest(payload))?;
+            f.write_all(payload)?;
+            f.sync_all()
+        })();
+        if let Err(e) = staged {
+            let _ = fs::remove_file(&tmp);
+            return Err(CacheError::io("stage cache entry", e));
+        }
+        if let Err(e) = fs::rename(&tmp, &path) {
+            let _ = fs::remove_file(&tmp);
+            return Err(CacheError::io("publish cache entry", e));
+        }
+        self.journal_access(key);
+        let evicted = if self.budget.is_some() {
+            self.evict_to_budget().unwrap_or(0)
+        } else {
+            0
+        };
+        Ok(evicted)
+    }
+
+    /// Move a bad entry to `corrupt/<digest>`; `true` when the evidence
+    /// was preserved (falls back to deletion so a bad entry can never be
+    /// served twice either way).
+    fn quarantine(&self, key: &Digest, path: &Path) -> bool {
+        let _ = fs::create_dir_all(self.corrupt_dir());
+        let dest = self.corrupt_dir().join(sha256::hex(key));
+        if fs::rename(path, &dest).is_ok() {
+            true
+        } else {
+            let _ = fs::remove_file(path);
+            false
+        }
+    }
+
+    /// Best-effort mtime bump so scan-only eviction (no index) still
+    /// approximates LRU.
+    fn touch(&self, path: &Path) {
+        if let Ok(f) = fs::File::options().write(true).open(path) {
+            let _ = f.set_modified(SystemTime::now());
+        }
+    }
+
+    /// Append one access record to the index journal (best-effort — the
+    /// index is a hint, the directory scan is the ground truth).
+    fn journal_access(&self, key: &Digest) {
+        if let Ok(mut f) = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.index_path())
+        {
+            let _ = writeln!(f, "{}", sha256::hex(key));
+        }
+    }
+
+    /// Read the access journal into a recency rank per digest (higher =
+    /// more recent). Garbage lines — truncated appends, corruption — are
+    /// skipped, never fatal.
+    fn read_index(&self) -> std::collections::HashMap<String, u64> {
+        let mut ranks = std::collections::HashMap::new();
+        let Ok(mut f) = fs::File::open(self.index_path()) else {
+            return ranks;
+        };
+        let mut text = String::new();
+        if f.read_to_string(&mut text).is_err() {
+            return ranks;
+        }
+        for (pos, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if sha256::from_hex(line).is_some() {
+                ranks.insert(line.to_string(), pos as u64);
+            }
+        }
+        ranks
+    }
+
+    /// Scan `objects/` for entries (path, digest, size, mtime). I/O
+    /// errors on individual entries are skipped — a half-removed file
+    /// must not wedge eviction.
+    fn scan(&self) -> Result<Vec<ScanEntry>, CacheError> {
+        let mut out = Vec::new();
+        let top = match fs::read_dir(self.objects_dir()) {
+            Ok(d) => d,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(CacheError::io("scan objects dir", e)),
+        };
+        for fan in top.flatten() {
+            let fan_name = fan.file_name().to_string_lossy().into_owned();
+            let Ok(entries) = fs::read_dir(fan.path()) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name.starts_with('.') {
+                    continue; // staging droppings
+                }
+                let Ok(meta) = entry.metadata() else {
+                    continue;
+                };
+                if !meta.is_file() {
+                    continue;
+                }
+                out.push(ScanEntry {
+                    path: entry.path(),
+                    digest_hex: format!("{fan_name}{name}"),
+                    len: meta.len(),
+                    mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total `(entries, bytes)` currently stored.
+    ///
+    /// # Errors
+    ///
+    /// Scan failures.
+    pub fn usage(&self) -> Result<(u64, u64), CacheError> {
+        let scan = self.scan()?;
+        Ok((scan.len() as u64, scan.iter().map(|e| e.len).sum()))
+    }
+
+    /// Evict least-recently-used entries until total object bytes fit the
+    /// budget. Returns the number of entries removed.
+    ///
+    /// Victim order: entries absent from the index journal first (oldest
+    /// mtime first), then journaled entries by access rank. Holds the
+    /// advisory directory lock; if another process holds it, the pass is
+    /// skipped (that process is already evicting).
+    ///
+    /// # Errors
+    ///
+    /// Scan failures. Individual removals are best-effort.
+    pub fn evict_to_budget(&self) -> Result<u64, CacheError> {
+        let Some(budget) = self.budget else {
+            return Ok(0);
+        };
+        let Some(_lock) = DirLock::try_acquire(&self.lock_path(), self.lock_ttl) else {
+            return Ok(0);
+        };
+        let mut entries = self.scan()?;
+        let mut total: u64 = entries.iter().map(|e| e.len).sum();
+        if total <= budget {
+            return Ok(0);
+        }
+        let ranks = self.read_index();
+        // Oldest victims first: unranked by mtime, then ranked by recency.
+        entries.sort_by_key(|e| (ranks.get(&e.digest_hex).copied(), e.mtime));
+        let mut removed = 0u64;
+        let mut survivors = Vec::new();
+        let mut victims = entries.into_iter();
+        for entry in victims.by_ref() {
+            if total <= budget {
+                survivors.push(entry);
+                break;
+            }
+            if fs::remove_file(&entry.path).is_ok() {
+                total -= entry.len;
+                removed += 1;
+            }
+        }
+        survivors.extend(victims);
+        if removed > 0 {
+            self.rewrite_index(&survivors, &ranks);
+        }
+        Ok(removed)
+    }
+
+    /// Compact the index journal to the surviving entries, in recency
+    /// order (atomic temp + rename; best-effort).
+    fn rewrite_index(&self, survivors: &[ScanEntry], ranks: &std::collections::HashMap<String, u64>) {
+        let mut ordered: Vec<&ScanEntry> = survivors.iter().collect();
+        ordered.sort_by_key(|e| (ranks.get(&e.digest_hex).copied(), e.mtime));
+        let mut text = String::new();
+        for e in ordered {
+            text.push_str(&e.digest_hex);
+            text.push('\n');
+        }
+        let tmp = self.root.join(format!(".index.{}.tmp", std::process::id()));
+        let staged: io::Result<()> = (|| {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()
+        })();
+        if staged.is_ok() {
+            let _ = fs::rename(&tmp, self.index_path());
+        } else {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+
+    /// Remove every stored object and the index. Returns entries removed.
+    ///
+    /// # Errors
+    ///
+    /// Scan failures; individual removals are best-effort.
+    pub fn clear(&self) -> Result<u64, CacheError> {
+        let _lock = DirLock::try_acquire(&self.lock_path(), self.lock_ttl);
+        let mut removed = 0u64;
+        for entry in self.scan()? {
+            if fs::remove_file(&entry.path).is_ok() {
+                removed += 1;
+            }
+        }
+        let _ = fs::remove_file(self.index_path());
+        Ok(removed)
+    }
+}
+
+/// Decode and verify one raw entry file; `Err(reason)` on any mismatch.
+fn decode_entry(raw: &[u8]) -> Result<Vec<u8>, String> {
+    if raw.is_empty() {
+        return Err("zero-length entry".into());
+    }
+    if raw.len() < HEADER_LEN {
+        return Err(format!("truncated header ({} bytes)", raw.len()));
+    }
+    if &raw[..8] != MAGIC {
+        return Err("bad magic".into());
+    }
+    let stored: Digest = raw[8..HEADER_LEN].try_into().expect("32-byte checksum");
+    let payload = &raw[HEADER_LEN..];
+    let actual = sha256::digest(payload);
+    if actual != stored {
+        return Err(format!(
+            "checksum mismatch (stored {}, computed {})",
+            sha256::hex(&stored),
+            sha256::hex(&actual)
+        ));
+    }
+    Ok(payload.to_vec())
+}
+
+/// A best-effort advisory directory lock: an `O_EXCL`-created lock file,
+/// stolen when older than the TTL (a crashed holder must not wedge
+/// eviction forever). Held for the duration of an eviction/clear pass.
+#[derive(Debug)]
+struct DirLock {
+    path: PathBuf,
+}
+
+impl DirLock {
+    fn try_acquire(path: &Path, ttl: Duration) -> Option<DirLock> {
+        for _ in 0..2 {
+            match fs::OpenOptions::new().write(true).create_new(true).open(path) {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    return Some(DirLock {
+                        path: path.to_path_buf(),
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let stale = fs::metadata(path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|m| SystemTime::now().duration_since(m).ok())
+                        .is_some_and(|age| age > ttl);
+                    if stale {
+                        let _ = fs::remove_file(path);
+                        continue; // retry the create_new
+                    }
+                    return None; // live holder — skip this pass
+                }
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::digest;
+
+    fn tmproot(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("e9cache-disk-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let root = tmproot("roundtrip");
+        let store = DiskStore::open(&root, None).unwrap();
+        let key = digest(b"key");
+        assert_eq!(store.get(&key).unwrap(), None);
+        store.put(&key, b"payload bytes").unwrap();
+        assert_eq!(store.get(&key).unwrap().unwrap(), b"payload bytes");
+        // Fan-out layout: objects/ab/<62 hex>.
+        let hex = sha256::hex(&key);
+        assert!(root.join("objects").join(&hex[..2]).join(&hex[2..]).exists());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_entry_is_typed_error_and_quarantined() {
+        let root = tmproot("corrupt");
+        let store = DiskStore::open(&root, None).unwrap();
+        let key = digest(b"victim");
+        store.put(&key, b"good bytes").unwrap();
+        let path = store.object_path(&key);
+        // Flip one payload byte.
+        let mut raw = fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        fs::write(&path, &raw).unwrap();
+        match store.get(&key) {
+            Err(CacheError::Corrupt {
+                digest: d,
+                quarantined,
+                ..
+            }) => {
+                assert_eq!(d, sha256::hex(&key));
+                assert!(quarantined);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // The entry is gone from objects/ and preserved in corrupt/.
+        assert!(!path.exists());
+        assert!(root.join("corrupt").join(sha256::hex(&key)).exists());
+        // The store stays serviceable: a re-put re-publishes cleanly.
+        assert_eq!(store.get(&key).unwrap(), None);
+        store.put(&key, b"good bytes").unwrap();
+        assert_eq!(store.get(&key).unwrap().unwrap(), b"good bytes");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn zero_length_and_truncated_entries_are_corrupt() {
+        let root = tmproot("trunc");
+        let store = DiskStore::open(&root, None).unwrap();
+        let key = digest(b"t");
+        store.put(&key, b"0123456789").unwrap();
+        let path = store.object_path(&key);
+        for bad in [Vec::new(), b"E9CACHE1".to_vec(), fs::read(&path).unwrap()[..41].to_vec()] {
+            store.put(&key, b"0123456789").unwrap();
+            fs::write(&path, &bad).unwrap();
+            assert!(matches!(store.get(&key), Err(CacheError::Corrupt { .. })), "bad len {}", bad.len());
+        }
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_access_order() {
+        let root = tmproot("evict");
+        // Budget fits two ~100-byte entries (plus headers).
+        let store = DiskStore::open(&root, Some(300)).unwrap();
+        let (k1, k2, k3) = (digest(b"1"), digest(b"2"), digest(b"3"));
+        store.put(&k1, &[1u8; 100]).unwrap();
+        store.put(&k2, &[2u8; 100]).unwrap();
+        // Touch k1 so k2 is the LRU victim when k3 arrives.
+        assert!(store.get(&k1).unwrap().is_some());
+        store.put(&k3, &[3u8; 100]).unwrap();
+        let (entries, bytes) = store.usage().unwrap();
+        assert!(bytes <= 300, "budget exceeded: {bytes}");
+        assert_eq!(entries, 2);
+        assert!(store.get(&k2).unwrap().is_none(), "LRU entry survived");
+        assert!(store.get(&k1).unwrap().is_some());
+        assert!(store.get(&k3).unwrap().is_some());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn garbage_index_degrades_to_mtime_order() {
+        let root = tmproot("badindex");
+        let store = DiskStore::open(&root, Some(150)).unwrap();
+        let (k1, k2) = (digest(b"a"), digest(b"b"));
+        store.put(&k1, &[1u8; 100]).unwrap();
+        fs::write(root.join("index"), b"not hex at all\n\x00\x01garbage\n").unwrap();
+        store.put(&k2, &[2u8; 100]).unwrap();
+        // Over budget → one of them was evicted, no panic, store works.
+        let (entries, bytes) = store.usage().unwrap();
+        assert_eq!(entries, 1);
+        assert!(bytes <= 150);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let root = tmproot("clear");
+        let store = DiskStore::open(&root, None).unwrap();
+        store.put(&digest(b"x"), b"x").unwrap();
+        store.put(&digest(b"y"), b"y").unwrap();
+        assert_eq!(store.clear().unwrap(), 2);
+        assert_eq!(store.usage().unwrap(), (0, 0));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn stale_lock_is_stolen() {
+        let root = tmproot("lock");
+        let store = DiskStore::open(&root, Some(50)).unwrap();
+        // Plant a lock file dated far in the past.
+        fs::write(root.join("lock"), b"dead").unwrap();
+        let old = SystemTime::now() - Duration::from_secs(3600);
+        fs::File::options()
+            .write(true)
+            .open(root.join("lock"))
+            .unwrap()
+            .set_modified(old)
+            .unwrap();
+        store.put(&digest(b"x"), &[0u8; 100]).unwrap();
+        store.put(&digest(b"y"), &[0u8; 100]).unwrap();
+        // Eviction stole the stale lock and ran.
+        let (_, bytes) = store.usage().unwrap();
+        assert!(bytes <= 150, "stale lock blocked eviction");
+        fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,522 @@
+//! `e9cache` — content-addressed cache for finished rewrite artifacts.
+//!
+//! The rewrite pipeline is deterministic (byte-identical output for a
+//! given input since PR 1, enforced across `--jobs` since PR 4), which
+//! makes finished rewrites safely addressable by a digest of their
+//! inputs: `(input ELF bytes, canonical-JSON patch batch, RewriteConfig,
+//! protocol/format version)`. This crate provides the storage half of
+//! that bargain — the key derivation lives in `e9proto::cachekey`, next
+//! to the canonical JSON codec it reuses.
+//!
+//! Two tiers, checked in order:
+//!
+//! 1. **Memory** ([`mem::MemLru`]): a bytes-capped LRU behind an interior
+//!    lock, shared by all daemon connection threads.
+//! 2. **Disk** ([`disk::DiskStore`]): a `objects/ab/cdef…` CAS with
+//!    atomic publish, read-time checksum verification, quarantine of
+//!    corrupt entries, and crash-tolerant size-budgeted eviction.
+//!
+//! Failures in either tier *degrade* — a corrupt or unreadable entry is
+//! counted and treated as a miss so the caller falls back to a cold
+//! rewrite — they never panic and never serve wrong bytes.
+//!
+//! Entries are either positive (the canonical-JSON emit reply bytes) or
+//! *negative*: a request that deterministically fails keeps failing, so
+//! the original typed error is cached and replayed without re-running
+//! the rewriter.
+
+pub mod disk;
+pub mod mem;
+pub mod sha256;
+
+pub use sha256::{digest, Digest, Sha256};
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Version of the entry payload encoding *and* of the key derivation —
+/// bumped together whenever either changes, so stale stores can never be
+/// misread (a bump changes every key; old objects simply age out).
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Default in-memory tier budget (64 MiB).
+pub const DEFAULT_MEM_BYTES: usize = 64 << 20;
+
+/// A typed cache failure. The cache is an accelerator, so callers treat
+/// every variant as "fall back to a cold rewrite" — but the variants are
+/// distinct so fault campaigns can assert *which* degradation happened.
+#[derive(Debug)]
+pub enum CacheError {
+    /// Transport-level I/O failure (permissions, disk full, …).
+    Io {
+        /// What the store was doing when it failed.
+        context: &'static str,
+        source: std::io::Error,
+    },
+    /// An on-disk entry failed verification and was quarantined.
+    Corrupt {
+        /// Hex digest of the *key* (the CAS name), not of the payload.
+        digest: String,
+        reason: String,
+        /// Whether the evidence was preserved under `corrupt/` (`false`
+        /// means the rename failed and the entry was deleted instead).
+        quarantined: bool,
+    },
+}
+
+impl CacheError {
+    fn io(context: &'static str, source: std::io::Error) -> CacheError {
+        CacheError::Io { context, source }
+    }
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Io { context, source } => write!(f, "cache I/O: {context}: {source}"),
+            CacheError::Corrupt {
+                digest,
+                reason,
+                quarantined,
+            } => write!(
+                f,
+                "cache entry {digest} corrupt ({reason}){}",
+                if *quarantined {
+                    ", quarantined"
+                } else {
+                    ", removed"
+                }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheError::Io { source, .. } => Some(source),
+            CacheError::Corrupt { .. } => None,
+        }
+    }
+}
+
+/// A decoded cache entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entry {
+    /// A finished rewrite: canonical-JSON emit-reply bytes.
+    Ok(Vec<u8>),
+    /// A deterministic failure: the typed error the rewrite produced,
+    /// replayed on every hit so known-bad requests short-circuit.
+    Negative {
+        /// JSON-RPC error code (e.g. `e9proto::msg::code::REWRITE`).
+        code: i64,
+        message: String,
+    },
+}
+
+impl Entry {
+    /// Serialize to the stored payload form: `b'P' ‖ bytes` for a
+    /// positive entry, `b'N' ‖ code(LE) ‖ message(UTF-8)` for a negative.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Entry::Ok(bytes) => {
+                let mut out = Vec::with_capacity(1 + bytes.len());
+                out.push(b'P');
+                out.extend_from_slice(bytes);
+                out
+            }
+            Entry::Negative { code, message } => {
+                let mut out = Vec::with_capacity(9 + message.len());
+                out.push(b'N');
+                out.extend_from_slice(&code.to_le_bytes());
+                out.extend_from_slice(message.as_bytes());
+                out
+            }
+        }
+    }
+
+    /// Inverse of [`encode`](Entry::encode); `None` on any malformed
+    /// payload (the caller treats that as a corrupt entry).
+    pub fn decode(raw: &[u8]) -> Option<Entry> {
+        match raw.split_first()? {
+            (b'P', rest) => Some(Entry::Ok(rest.to_vec())),
+            (b'N', rest) if rest.len() >= 8 => {
+                let code = i64::from_le_bytes(rest[..8].try_into().ok()?);
+                let message = std::str::from_utf8(&rest[8..]).ok()?.to_string();
+                Some(Entry::Negative { code, message })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// How to build a [`Cache`].
+#[derive(Debug, Clone, Default)]
+pub struct CacheConfig {
+    /// Root of the on-disk tier; `None` = memory-only.
+    pub dir: Option<PathBuf>,
+    /// Memory-tier byte budget; `None` = [`DEFAULT_MEM_BYTES`].
+    pub mem_bytes: Option<usize>,
+    /// Disk-tier byte budget; `None` = unbounded.
+    pub disk_bytes: Option<u64>,
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub mem_hits: u64,
+    pub disk_hits: u64,
+    pub negative_hits: u64,
+    pub misses: u64,
+    pub stores: u64,
+    pub mem_evictions: u64,
+    pub disk_evictions: u64,
+    pub verify_failures: u64,
+    /// Degradations other than verification failures (I/O errors,
+    /// undecodable payloads) — every one fell back to a cold rewrite.
+    pub errors: u64,
+    pub mem_entries: u64,
+    pub mem_bytes: u64,
+}
+
+impl CacheStats {
+    /// One-line human summary, in the `PatchStats::summary` style.
+    pub fn summary(&self) -> String {
+        format!(
+            "cache: {} hits ({} mem, {} disk, {} negative), {} misses, {} stores, {} evictions ({} mem, {} disk), {} verify failures, {} errors",
+            self.hits,
+            self.mem_hits,
+            self.disk_hits,
+            self.negative_hits,
+            self.misses,
+            self.stores,
+            self.mem_evictions + self.disk_evictions,
+            self.mem_evictions,
+            self.disk_evictions,
+            self.verify_failures,
+            self.errors,
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    negative_hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    disk_evictions: AtomicU64,
+    verify_failures: AtomicU64,
+    errors: AtomicU64,
+}
+
+fn tick(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The two-tier cache. Interior-locked: one instance (usually in an
+/// [`Arc`]) serves every connection thread of a daemon concurrently.
+#[derive(Debug)]
+pub struct Cache {
+    mem: Mutex<mem::MemLru>,
+    disk: Option<disk::DiskStore>,
+    counters: Counters,
+}
+
+impl Cache {
+    /// Build a cache per `config`.
+    ///
+    /// # Errors
+    ///
+    /// Disk-tier directory creation failures.
+    pub fn open(config: &CacheConfig) -> Result<Cache, CacheError> {
+        let disk = match &config.dir {
+            Some(dir) => Some(disk::DiskStore::open(dir, config.disk_bytes)?),
+            None => None,
+        };
+        Ok(Cache {
+            mem: Mutex::new(mem::MemLru::new(
+                config.mem_bytes.unwrap_or(DEFAULT_MEM_BYTES),
+            )),
+            disk,
+            counters: Counters::default(),
+        })
+    }
+
+    /// A memory-only cache with the default budget (tests, `--cache-dir`
+    /// omitted on the daemon).
+    pub fn in_memory() -> Cache {
+        Cache::open(&CacheConfig::default()).expect("memory-only cache cannot fail")
+    }
+
+    /// The cache must stay serviceable even if a connection thread
+    /// panicked while holding the lock — entries are immutable once
+    /// inserted, so the map is never observably half-written.
+    fn mem(&self) -> MutexGuard<'_, mem::MemLru> {
+        self.mem.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Look up `key`, promoting disk hits into the memory tier.
+    ///
+    /// Never fails: corrupt entries (already quarantined by the disk
+    /// tier) and I/O errors are counted and reported as a miss so the
+    /// caller runs the rewrite cold.
+    pub fn lookup(&self, key: &Digest) -> Option<Entry> {
+        if let Some(payload) = self.mem().get(key) {
+            return self.decoded_hit(key, &payload, true);
+        }
+        let Some(disk) = self.disk.as_ref() else {
+            tick(&self.counters.misses);
+            return None;
+        };
+        match disk.get(key) {
+            Ok(Some(payload)) => {
+                let payload: Arc<[u8]> = payload.into();
+                self.mem().insert(*key, Arc::clone(&payload));
+                self.decoded_hit(key, &payload, false)
+            }
+            Ok(None) => {
+                tick(&self.counters.misses);
+                None
+            }
+            Err(CacheError::Corrupt { .. }) => {
+                tick(&self.counters.verify_failures);
+                tick(&self.counters.misses);
+                None
+            }
+            Err(CacheError::Io { .. }) => {
+                tick(&self.counters.errors);
+                tick(&self.counters.misses);
+                None
+            }
+        }
+    }
+
+    /// Decode a checksum-verified payload; an undecodable one (possible
+    /// only if encoder and decoder disagree) is purged from memory and
+    /// counted as an error-miss so the caller recomputes cold.
+    fn decoded_hit(&self, key: &Digest, payload: &Arc<[u8]>, from_mem: bool) -> Option<Entry> {
+        match Entry::decode(payload) {
+            Some(entry) => {
+                tick(&self.counters.hits);
+                if from_mem {
+                    tick(&self.counters.mem_hits);
+                } else {
+                    tick(&self.counters.disk_hits);
+                }
+                if matches!(entry, Entry::Negative { .. }) {
+                    tick(&self.counters.negative_hits);
+                }
+                Some(entry)
+            }
+            None => {
+                self.mem().remove(key);
+                tick(&self.counters.errors);
+                tick(&self.counters.misses);
+                None
+            }
+        }
+    }
+
+    /// Store `entry` under `key` in both tiers. Disk failures are
+    /// counted, not propagated — a cache store must never fail a rewrite
+    /// that already succeeded.
+    pub fn put(&self, key: &Digest, entry: &Entry) {
+        let payload: Arc<[u8]> = entry.encode().into();
+        self.mem().insert(*key, Arc::clone(&payload));
+        tick(&self.counters.stores);
+        if let Some(disk) = &self.disk {
+            match disk.put(key, &payload) {
+                Ok(evicted) => {
+                    self.counters
+                        .disk_evictions
+                        .fetch_add(evicted, Ordering::Relaxed);
+                }
+                Err(_) => tick(&self.counters.errors),
+            }
+        }
+    }
+
+    /// Drop every entry in both tiers; returns disk entries removed.
+    pub fn clear(&self) -> u64 {
+        self.mem().clear();
+        match &self.disk {
+            Some(disk) => disk.clear().unwrap_or_else(|_| {
+                tick(&self.counters.errors);
+                0
+            }),
+            None => 0,
+        }
+    }
+
+    /// Whether a disk tier is configured.
+    pub fn has_disk(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        let c = &self.counters;
+        let (mem_entries, mem_bytes, mem_evictions) = {
+            let mem = self.mem();
+            (mem.len() as u64, mem.bytes() as u64, mem.evictions())
+        };
+        CacheStats {
+            hits: c.hits.load(Ordering::Relaxed),
+            mem_hits: c.mem_hits.load(Ordering::Relaxed),
+            disk_hits: c.disk_hits.load(Ordering::Relaxed),
+            negative_hits: c.negative_hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            stores: c.stores.load(Ordering::Relaxed),
+            mem_evictions,
+            disk_evictions: c.disk_evictions.load(Ordering::Relaxed),
+            verify_failures: c.verify_failures.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            mem_entries,
+            mem_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("e9cache-lib-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn entry_encoding_round_trips() {
+        let pos = Entry::Ok(b"reply bytes".to_vec());
+        assert_eq!(Entry::decode(&pos.encode()), Some(pos));
+        let neg = Entry::Negative {
+            code: -2,
+            message: "no tactic admits site".into(),
+        };
+        assert_eq!(Entry::decode(&neg.encode()), Some(neg));
+        assert_eq!(Entry::decode(b""), None);
+        assert_eq!(Entry::decode(b"X???"), None);
+        assert_eq!(Entry::decode(b"N\x01\x02"), None); // short code
+    }
+
+    #[test]
+    fn memory_only_lookup_put_cycle() {
+        let cache = Cache::in_memory();
+        let key = digest(b"job");
+        assert_eq!(cache.lookup(&key), None);
+        cache.put(&key, &Entry::Ok(b"artifact".to_vec()));
+        assert_eq!(cache.lookup(&key), Some(Entry::Ok(b"artifact".to_vec())));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.mem_hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.stores, 1);
+        assert_eq!(stats.mem_entries, 1);
+    }
+
+    #[test]
+    fn disk_tier_survives_memory_clear() {
+        let dir = tmpdir("survive");
+        let cache = Cache::open(&CacheConfig {
+            dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        })
+        .unwrap();
+        let key = digest(b"job");
+        cache.put(&key, &Entry::Ok(b"artifact".to_vec()));
+        cache.mem().clear();
+        // Disk hit, promoted back into memory.
+        assert_eq!(cache.lookup(&key), Some(Entry::Ok(b"artifact".to_vec())));
+        assert_eq!(cache.stats().disk_hits, 1);
+        assert_eq!(cache.lookup(&key), Some(Entry::Ok(b"artifact".to_vec())));
+        assert_eq!(cache.stats().mem_hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_disk_entry_counts_verify_failure_and_misses() {
+        let dir = tmpdir("corrupt");
+        let cache = Cache::open(&CacheConfig {
+            dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        })
+        .unwrap();
+        let key = digest(b"job");
+        cache.put(&key, &Entry::Ok(b"artifact".to_vec()));
+        cache.mem().clear();
+        let path = cache.disk.as_ref().unwrap().object_path(&key);
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        assert_eq!(cache.lookup(&key), None);
+        let stats = cache.stats();
+        assert_eq!(stats.verify_failures, 1);
+        assert_eq!(stats.misses, 1);
+        assert!(dir.join("corrupt").exists());
+        // Serviceable afterwards: re-put and hit.
+        cache.put(&key, &Entry::Ok(b"artifact".to_vec()));
+        cache.mem().clear();
+        assert_eq!(cache.lookup(&key), Some(Entry::Ok(b"artifact".to_vec())));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn negative_entries_replay_the_error() {
+        let cache = Cache::in_memory();
+        let key = digest(b"bad job");
+        cache.put(
+            &key,
+            &Entry::Negative {
+                code: -2,
+                message: "mapping conflict".into(),
+            },
+        );
+        match cache.lookup(&key) {
+            Some(Entry::Negative { code, message }) => {
+                assert_eq!(code, -2);
+                assert_eq!(message, "mapping conflict");
+            }
+            other => panic!("expected negative hit, got {other:?}"),
+        }
+        assert_eq!(cache.stats().negative_hits, 1);
+    }
+
+    #[test]
+    fn clear_empties_both_tiers() {
+        let dir = tmpdir("clear");
+        let cache = Cache::open(&CacheConfig {
+            dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        })
+        .unwrap();
+        cache.put(&digest(b"a"), &Entry::Ok(vec![1]));
+        cache.put(&digest(b"b"), &Entry::Ok(vec![2]));
+        assert_eq!(cache.clear(), 2);
+        assert_eq!(cache.lookup(&digest(b"a")), None);
+        assert_eq!(cache.stats().mem_entries, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_summary_mentions_every_counter_family() {
+        let s = CacheStats {
+            hits: 3,
+            mem_hits: 2,
+            disk_hits: 1,
+            ..CacheStats::default()
+        }
+        .summary();
+        for needle in ["hits", "misses", "stores", "evictions", "verify failures"] {
+            assert!(s.contains(needle), "summary missing {needle}: {s}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The in-process tier: a bytes-capped LRU over decoded cache entries.
+//!
+//! One instance is shared (behind the [`crate::Cache`] interior lock) by
+//! every `e9patchd` connection thread, so a fleet of clients requesting
+//! the same rewrite hits memory after the first emit — no disk read, no
+//! re-verification. Values are stored as `Arc<[u8]>` so a hit hands the
+//! caller a reference without copying the (potentially multi-megabyte)
+//! payload under the lock.
+
+use crate::sha256::Digest;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Bytes-capped LRU map from digest to payload.
+///
+/// Recency is tracked with a monotone sequence number per entry plus an
+/// ordered index from sequence to digest; both `get` and `insert` bump
+/// the entry to the newest sequence, and eviction pops from the oldest.
+#[derive(Debug, Default)]
+pub struct MemLru {
+    entries: HashMap<Digest, (u64, Arc<[u8]>)>,
+    by_seq: BTreeMap<u64, Digest>,
+    next_seq: u64,
+    bytes: usize,
+    cap: usize,
+    evictions: u64,
+}
+
+impl MemLru {
+    /// An LRU holding at most `cap` payload bytes. A zero cap disables
+    /// the tier (every insert is immediately over budget).
+    pub fn new(cap: usize) -> MemLru {
+        MemLru {
+            cap,
+            ..MemLru::default()
+        }
+    }
+
+    /// Current payload bytes held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Look `key` up, bumping it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &Digest) -> Option<Arc<[u8]>> {
+        let (seq, payload) = self.entries.get(key)?;
+        let (old_seq, payload) = (*seq, Arc::clone(payload));
+        self.by_seq.remove(&old_seq);
+        let seq = self.bump();
+        self.by_seq.insert(seq, *key);
+        self.entries.insert(*key, (seq, Arc::clone(&payload)));
+        Some(payload)
+    }
+
+    /// Insert (or refresh) `key`, evicting least-recently-used entries
+    /// until the tier fits its byte budget. Payloads larger than the
+    /// whole budget are not admitted at all.
+    pub fn insert(&mut self, key: Digest, payload: Arc<[u8]>) {
+        if payload.len() > self.cap {
+            return;
+        }
+        if let Some((old_seq, old)) = self.entries.remove(&key) {
+            self.by_seq.remove(&old_seq);
+            self.bytes -= old.len();
+        }
+        while self.bytes + payload.len() > self.cap {
+            let Some((&oldest, _)) = self.by_seq.iter().next() else {
+                break;
+            };
+            let victim = self.by_seq.remove(&oldest).expect("indexed digest");
+            if let Some((_, evicted)) = self.entries.remove(&victim) {
+                self.bytes -= evicted.len();
+                self.evictions += 1;
+            }
+        }
+        let seq = self.bump();
+        self.bytes += payload.len();
+        self.by_seq.insert(seq, key);
+        self.entries.insert(key, (seq, payload));
+    }
+
+    /// Drop one entry (does not count as an eviction — used to purge an
+    /// entry that decoded as garbage, so it can never be served again).
+    pub fn remove(&mut self, key: &Digest) {
+        if let Some((seq, old)) = self.entries.remove(key) {
+            self.by_seq.remove(&seq);
+            self.bytes -= old.len();
+        }
+    }
+
+    /// Drop every entry (counters are left alone).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.by_seq.clear();
+        self.bytes = 0;
+    }
+
+    fn bump(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::digest;
+
+    fn key(n: u8) -> Digest {
+        digest(&[n])
+    }
+
+    fn val(len: usize, fill: u8) -> Arc<[u8]> {
+        vec![fill; len].into()
+    }
+
+    #[test]
+    fn get_returns_inserted_payload() {
+        let mut lru = MemLru::new(1024);
+        lru.insert(key(1), val(10, 0xAB));
+        assert_eq!(lru.get(&key(1)).unwrap().as_ref(), &[0xAB; 10]);
+        assert!(lru.get(&key(2)).is_none());
+        assert_eq!(lru.bytes(), 10);
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let mut lru = MemLru::new(30);
+        lru.insert(key(1), val(10, 1));
+        lru.insert(key(2), val(10, 2));
+        lru.insert(key(3), val(10, 3));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(lru.get(&key(1)).is_some());
+        lru.insert(key(4), val(10, 4));
+        assert!(lru.get(&key(2)).is_none(), "LRU entry should be evicted");
+        assert!(lru.get(&key(1)).is_some());
+        assert!(lru.get(&key(3)).is_some());
+        assert!(lru.get(&key(4)).is_some());
+        assert_eq!(lru.evictions(), 1);
+        assert_eq!(lru.bytes(), 30);
+    }
+
+    #[test]
+    fn oversized_payload_is_not_admitted() {
+        let mut lru = MemLru::new(8);
+        lru.insert(key(1), val(9, 0));
+        assert!(lru.is_empty());
+        assert_eq!(lru.evictions(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_accounts_bytes() {
+        let mut lru = MemLru::new(100);
+        lru.insert(key(1), val(40, 1));
+        lru.insert(key(1), val(10, 2));
+        assert_eq!(lru.bytes(), 10);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get(&key(1)).unwrap().as_ref(), &[2; 10]);
+    }
+
+    #[test]
+    fn clear_empties_the_tier() {
+        let mut lru = MemLru::new(100);
+        lru.insert(key(1), val(10, 1));
+        lru.insert(key(2), val(10, 2));
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.bytes(), 0);
+        assert!(lru.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn zero_cap_disables_the_tier() {
+        let mut lru = MemLru::new(0);
+        lru.insert(key(1), val(1, 1));
+        assert!(lru.is_empty());
+    }
+}

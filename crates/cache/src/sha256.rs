@@ -1,0 +1,274 @@
+//! In-tree SHA-256 (FIPS 180-4).
+//!
+//! The rewrite cache is keyed by a digest over untrusted, multi-megabyte
+//! inputs, so the hash must be collision-resistant and dependency-free
+//! (the workspace builds fully `--offline`). This is the textbook
+//! algorithm: incremental block compression with a 64-byte internal
+//! buffer, so a key can be derived over `(binary, batch, config)` parts
+//! without concatenating them into one allocation.
+//!
+//! Correctness is pinned two ways: the NIST FIPS 180-4 test vectors
+//! (empty, `"abc"`, the two-block message, one million `'a'`s) as unit
+//! tests below, and an `e9qcheck` property (`tests/sha_props.rs`) that
+//! hashing any random chunking of a message incrementally equals the
+//! one-shot digest.
+
+/// A SHA-256 digest.
+pub type Digest = [u8; 32];
+
+/// Round constants (FIPS 180-4 §4.2.2): first 32 bits of the fractional
+/// parts of the cube roots of the first 64 primes.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash state (§5.3.3): first 32 bits of the fractional parts of
+/// the square roots of the first 8 primes.
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Partial block awaiting 64 bytes.
+    buf: [u8; 64],
+    buf_len: usize,
+    /// Total message length in bytes (messages ≥ 2^61 bytes are out of
+    /// scope; the length is folded into the padding modulo 2^64 bits).
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Sha256 {
+        Sha256::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher.
+    pub fn new() -> Sha256 {
+        Sha256 {
+            state: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb `data`. Chunking is irrelevant: any sequence of `update`
+    /// calls whose concatenation equals the message yields the same
+    /// digest as a single call.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len < 64 {
+                // `take == rest.len()`: the data fit in the partial
+                // buffer. Falling through would clobber `buf_len` with
+                // the (empty) remainder length.
+                return;
+            }
+            let block = self.buf;
+            compress(&mut self.state, &block);
+            self.buf_len = 0;
+        }
+        let mut chunks = rest.chunks_exact(64);
+        for block in &mut chunks {
+            compress(&mut self.state, block.try_into().expect("64-byte chunk"));
+        }
+        let tail = chunks.remainder();
+        self.buf[..tail.len()].copy_from_slice(tail);
+        self.buf_len = tail.len();
+    }
+
+    /// Pad, compress the final block(s), and return the digest.
+    pub fn finish(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // 0x80 terminator, then zeros, then the 64-bit big-endian length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0x00]);
+        }
+        // Write the length directly — update() would recount it.
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        compress(&mut self.state, &block);
+        let mut out = [0u8; 32];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+}
+
+/// One-shot digest of `data`.
+pub fn digest(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finish()
+}
+
+fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, word) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(word.try_into().expect("4-byte word"));
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(big_s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = big_s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Lowercase hex of a digest (the CAS file-name form).
+pub fn hex(d: &Digest) -> String {
+    let mut s = String::with_capacity(64);
+    for b in d {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Inverse of [`hex`]; `None` unless `s` is exactly 64 hex digits.
+pub fn from_hex(s: &str) -> Option<Digest> {
+    if s.len() != 64 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    let mut out = [0u8; 32];
+    for (i, byte) in out.iter_mut().enumerate() {
+        *byte = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok()?;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hexdigest(data: &[u8]) -> String {
+        hex(&digest(data))
+    }
+
+    // FIPS 180-4 test vectors (NIST CAVP "SHA256ShortMsg"/"SHA256LongMsg"
+    // canonical examples).
+
+    #[test]
+    fn nist_empty_message() {
+        assert_eq!(
+            hexdigest(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn nist_abc() {
+        assert_eq!(
+            hexdigest(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn nist_two_block_message() {
+        // 448-bit message that pads across a block boundary.
+        assert_eq!(
+            hexdigest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn nist_896_bit_message() {
+        assert_eq!(
+            hexdigest(
+                b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn\
+                  hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"
+            ),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+        );
+    }
+
+    #[test]
+    fn nist_million_a() {
+        // The FIPS long-message vector, absorbed in deliberately awkward
+        // chunk sizes (1 MiB of repeated text exercises the multi-block
+        // fast path and the partial-buffer path together).
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 997];
+        let mut left = 1_000_000usize;
+        while left > 0 {
+            let take = left.min(chunk.len());
+            h.update(&chunk[..take]);
+            left -= take;
+        }
+        assert_eq!(
+            hex(&h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let one = digest(&data);
+        let mut h = Sha256::new();
+        for chunk in data.chunks(63) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), one);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let d = digest(b"round trip");
+        assert_eq!(from_hex(&hex(&d)), Some(d));
+        assert_eq!(from_hex("abc"), None);
+        assert_eq!(from_hex(&"g".repeat(64)), None);
+    }
+}

@@ -1,0 +1,62 @@
+//! SHA-256 correctness properties: the incremental hasher must be
+//! chunking-invariant (any split of a message yields the one-shot
+//! digest), and the hex codec must round-trip. Together with the NIST
+//! FIPS 180-4 vectors pinned as unit tests, this fixes the hash — and
+//! therefore every cache key — against accidental drift.
+
+use e9cache::sha256::{self, Sha256};
+use e9qcheck::prelude::*;
+
+props! {
+    #[test]
+    fn random_chunking_equals_one_shot(
+        data in vec(any::<u8>(), 0..4096),
+        cuts in vec(any::<u16>(), 0..16),
+    ) {
+        let one_shot = sha256::digest(&data);
+        // Turn the drawn cut points into a partition of `data`.
+        let mut bounds: Vec<usize> = cuts
+            .iter()
+            .map(|&c| if data.is_empty() { 0 } else { c as usize % data.len() })
+            .collect();
+        bounds.push(0);
+        bounds.push(data.len());
+        bounds.sort_unstable();
+        let mut h = Sha256::new();
+        for pair in bounds.windows(2) {
+            h.update(&data[pair[0]..pair[1]]);
+        }
+        prop_assert_eq!(h.finish(), one_shot);
+    }
+
+    #[test]
+    fn byte_at_a_time_equals_one_shot(data in vec(any::<u8>(), 0..300)) {
+        // The pathological chunking: every byte its own update call.
+        let mut h = Sha256::new();
+        for b in &data {
+            h.update(std::slice::from_ref(b));
+        }
+        prop_assert_eq!(h.finish(), sha256::digest(&data));
+    }
+
+    #[test]
+    fn distinct_messages_get_distinct_digests(
+        a in vec(any::<u8>(), 0..128),
+        b in vec(any::<u8>(), 0..128),
+    ) {
+        // Not a collision search — just pins that the digest actually
+        // depends on the input (a constant function would pass the
+        // chunking property).
+        if a != b {
+            prop_assert_ne!(sha256::digest(&a), sha256::digest(&b));
+        }
+    }
+
+    #[test]
+    fn hex_round_trips_all_digests(data in vec(any::<u8>(), 0..64)) {
+        let d = sha256::digest(&data);
+        let text = sha256::hex(&d);
+        prop_assert_eq!(text.len(), 64);
+        prop_assert_eq!(sha256::from_hex(&text), Some(d));
+    }
+}

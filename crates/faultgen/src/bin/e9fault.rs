@@ -12,7 +12,7 @@
 //! has been printed for each.
 
 use e9faultgen::{
-    case_rng, corpus, elf, seed_from_env, wire, CampaignReport, Outcome, Surface, ENV_SEED,
+    cache, case_rng, corpus, elf, seed_from_env, wire, CampaignReport, Outcome, Surface, ENV_SEED,
 };
 use std::process::ExitCode;
 
@@ -21,12 +21,14 @@ fn usage() -> ExitCode {
         "e9fault — deterministic fault-injection campaigns
 
 USAGE:
-  e9fault [--seed N] [--elf-cases N] [--wire-cases N] [--jobs N]
-  e9fault --surface elf|wire --case N [--seed N] [--jobs N]   replay one case
+  e9fault [--seed N] [--elf-cases N] [--wire-cases N] [--cache-cases N] [--jobs N]
+  e9fault --surface elf|wire|cache --case N [--seed N] [--jobs N]   replay one case
   e9fault --write-corpus DIR                       regenerate hostile ELFs
 
 --jobs N makes the wire baseline select the parallel sharded planner
 (option jobs=N), so mutants exercise the worker-pool path.
+The cache surface damages on-disk rewrite-cache entries and the index
+journal, asserting typed errors, quarantine and cold-path recovery.
 The seed defaults to ${ENV_SEED} (then 42). Exit 1 if any case panics."
     );
     ExitCode::from(2)
@@ -47,6 +49,14 @@ fn replay(seed: u64, surface: Surface, case: u32, jobs: Option<usize>) -> ExitCo
                 mutant.len()
             );
             wire::wire_case(&mutant)
+        }
+        Surface::Cache => {
+            let root = std::env::temp_dir().join(format!(
+                "e9fault-cache-replay-{}-{case}",
+                std::process::id()
+            ));
+            eprintln!("e9fault: replaying cache case {case} in {}", root.display());
+            cache::cache_case(&mut rng, &root)
         }
     };
     println!("{ENV_SEED}={seed} surface={} case={case}: {outcome:?}", surface.name());
@@ -95,6 +105,7 @@ fn main() -> ExitCode {
     let mut seed = seed_from_env();
     let mut elf_cases = 320u32;
     let mut wire_cases = 200u32;
+    let mut cache_cases = 120u32;
     let mut surface: Option<Surface> = None;
     let mut case: Option<u32> = None;
     let mut corpus_dir: Option<String> = None;
@@ -124,6 +135,13 @@ fn main() -> ExitCode {
                 }
                 None => return usage(),
             },
+            "--cache-cases" => match take(i).and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    cache_cases = v;
+                    i += 2;
+                }
+                None => return usage(),
+            },
             "--surface" => match take(i).as_deref() {
                 Some("elf") => {
                     surface = Some(Surface::Elf);
@@ -131,6 +149,10 @@ fn main() -> ExitCode {
                 }
                 Some("wire") => {
                     surface = Some(Surface::Wire);
+                    i += 2;
+                }
+                Some("cache") => {
+                    surface = Some(Surface::Cache);
                     i += 2;
                 }
                 _ => return usage(),
@@ -176,9 +198,11 @@ fn main() -> ExitCode {
         Some(Surface::Wire) => {
             reports.push(e9faultgen::run_wire_campaign_with_jobs(seed, wire_cases, jobs));
         }
+        Some(Surface::Cache) => reports.push(e9faultgen::run_cache_campaign(seed, cache_cases)),
         None => {
             reports.push(e9faultgen::run_elf_campaign(seed, elf_cases));
             reports.push(e9faultgen::run_wire_campaign_with_jobs(seed, wire_cases, jobs));
+            reports.push(e9faultgen::run_cache_campaign(seed, cache_cases));
         }
     }
     finish(&reports)

@@ -28,6 +28,7 @@
 //! historical panic classes in naive parsers (slice OOB, `usize` wrap,
 //! allocation bombs, inconsistent tables, partial reads).
 
+pub mod cache;
 pub mod corpus;
 pub mod elf;
 pub mod wire;
@@ -53,6 +54,8 @@ pub enum Surface {
     Elf,
     /// Wire-protocol byte streams into `dispatch_line`.
     Wire,
+    /// On-disk rewrite-cache entries and index into `e9cache`.
+    Cache,
 }
 
 impl Surface {
@@ -60,14 +63,16 @@ impl Surface {
         match self {
             Surface::Elf => 0x454C_465F_5355_5246, // "ELF_SURF"
             Surface::Wire => 0x5749_5245_5355_5246, // "WIRESURF"
+            Surface::Cache => 0x4341_4348_4553_5246, // "CACHESRF"
         }
     }
 
-    /// Command-line name (`elf` / `wire`).
+    /// Command-line name (`elf` / `wire` / `cache`).
     pub fn name(self) -> &'static str {
         match self {
             Surface::Elf => "elf",
             Surface::Wire => "wire",
+            Surface::Cache => "cache",
         }
     }
 }
@@ -215,4 +220,25 @@ pub fn run_wire_campaign_with_jobs(seed: u64, cases: u32, jobs: Option<usize>) -
         let mutant = wire::mutate(rng, &script);
         wire::wire_case(&mutant)
     })
+}
+
+/// Run `cases` seeded mutants against the rewrite-cache surface: each
+/// case primes a fresh on-disk store, damages object files and/or the
+/// index journal, then asserts typed-error + quarantine on read-back and
+/// that the cold path re-populates every damaged key byte-identically
+/// (see [`cache::cache_case`]). Campaign scratch space lives under the
+/// system temp dir and is removed per case.
+pub fn run_cache_campaign(seed: u64, cases: u32) -> CampaignReport {
+    let base = std::env::temp_dir().join(format!(
+        "e9fault-cache-{}-{seed:x}",
+        std::process::id()
+    ));
+    let mut case_no = 0u32;
+    let report = run_campaign(Surface::Cache, seed, cases, |rng| {
+        let root = base.join(format!("case{case_no}"));
+        case_no += 1;
+        cache::cache_case(rng, &root)
+    });
+    let _ = std::fs::remove_dir_all(&base);
+    report
 }

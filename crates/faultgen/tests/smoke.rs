@@ -53,6 +53,30 @@ fn wire_campaign_over_parallel_planner_is_panic_free() {
 }
 
 #[test]
+fn cache_campaign_is_panic_free() {
+    // Damaged on-disk cache entries must be refused with typed errors,
+    // quarantined, and recoverable through the cold path — never served
+    // as wrong bytes and never a panic (cache_case folds contract
+    // violations into the panic count).
+    let seed = seed_from_env();
+    let report = e9faultgen::run_cache_campaign(seed, 80);
+    assert!(
+        report.is_clean(),
+        "cache campaign panicked; replay with:\n{}",
+        report.replay_lines()
+    );
+    assert!(report.rejected > 0, "no mutant was rejected: {}", report.summary());
+}
+
+#[test]
+fn cache_campaign_is_deterministic() {
+    let a = e9faultgen::run_cache_campaign(9, 30);
+    let b = e9faultgen::run_cache_campaign(9, 30);
+    assert_eq!((a.accepted, a.rejected), (b.accepted, b.rejected));
+    assert!(a.is_clean() && b.is_clean());
+}
+
+#[test]
 fn campaigns_are_deterministic() {
     let a = e9faultgen::run_elf_campaign(7, 40);
     let b = e9faultgen::run_elf_campaign(7, 40);

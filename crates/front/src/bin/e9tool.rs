@@ -24,13 +24,17 @@ USAGE:
   e9tool patch BINARY -o OUT [--app a1|a2|a3|all] [--payload empty|counter|counters|lowfat|trace]
               [--no-t1] [--no-t2] [--no-t3] [--b0] [--granularity M] [--no-grouping]
               [--jobs N] [--report] [--verify] [--backend stdio|/path/to.sock]
+              [--cache-dir DIR | --no-cache]
   e9tool run  BINARY [--lowfat] [--max-steps N] [--hex-output]
 
 `gen --profile` accepts any Table 1 row name (perlbench, gcc, chrome, ...).
 `patch --backend` drives the rewrite through an e9patchd backend over the
 wire protocol instead of in-process: `stdio` spawns a daemon child
 ($E9PATCHD, an e9patchd next to e9tool, or $PATH), a path connects to a
-daemon's Unix socket. Output is byte-identical to the in-process path."
+daemon's Unix socket. Output is byte-identical to the in-process path.
+`patch --cache-dir DIR` reuses finished rewrites from a content-addressed
+cache at DIR ($E9CACHE_DIR provides a default; --no-cache disables both).
+A hit is byte-identical to a cold rewrite."
     );
     ExitCode::from(2)
 }
@@ -51,7 +55,7 @@ impl Args {
                 let takes_value = matches!(
                     name,
                     "tiny" | "profile" | "scale" | "app" | "payload" | "granularity"
-                        | "jobs" | "max-steps" | "limit" | "backend"
+                        | "jobs" | "max-steps" | "limit" | "backend" | "cache-dir"
                 );
                 if takes_value && i + 1 < argv.len() {
                     flags.insert(name.to_string(), argv[i + 1].clone());
@@ -233,6 +237,49 @@ fn cmd_disasm(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolve the rewrite-cache directory for `patch` from flags and the
+/// environment. `--cache-dir DIR` wins; otherwise `$E9CACHE_DIR` provides
+/// an ambient default. `--no-cache` disables both. Contradictory spellings
+/// are hard errors (exit 1), not silent precedence rules.
+fn resolve_cache_dir(args: &Args) -> Result<Option<std::path::PathBuf>, String> {
+    resolve_cache_dir_from(args, std::env::var_os("E9CACHE_DIR"))
+}
+
+fn resolve_cache_dir_from(
+    args: &Args,
+    env_dir: Option<std::ffi::OsString>,
+) -> Result<Option<std::path::PathBuf>, String> {
+    let explicit = args.flag("cache-dir");
+    if args.flag("no-cache") && explicit {
+        return Err(
+            "--no-cache contradicts --cache-dir: pick one (see `e9tool` for usage)".into(),
+        );
+    }
+    if explicit && args.flag("backend") {
+        return Err(
+            "--cache-dir applies to the in-process path; cache behind --backend \
+             with `e9patchd --cache-dir` instead"
+                .into(),
+        );
+    }
+    if args.flag("no-cache") {
+        return Ok(None);
+    }
+    if explicit {
+        let dir = args.value("cache-dir").unwrap_or("");
+        if dir.is_empty() {
+            return Err("--cache-dir requires a DIR argument".into());
+        }
+        return Ok(Some(std::path::PathBuf::from(dir)));
+    }
+    if args.flag("backend") {
+        // An ambient E9CACHE_DIR describes this process's cache; a remote
+        // daemon has its own (--cache-dir on e9patchd). Ignore, don't error.
+        return Ok(None);
+    }
+    Ok(env_dir.map(std::path::PathBuf::from))
+}
+
 /// Open the protocol backend named by `--backend`: `stdio` spawns the
 /// default daemon as a child; anything else is a Unix socket path.
 fn backend_client(spec: &str) -> Result<e9proto::ProtoClient, String> {
@@ -264,7 +311,10 @@ fn cmd_patch(args: &Args) -> Result<(), String> {
         "report",
         "verify",
         "backend",
+        "cache-dir",
+        "no-cache",
     ])?;
+    let cache_dir = resolve_cache_dir(args)?;
     let path = args.positional.first().ok_or("patch requires BINARY")?;
     let out_path = args.value("out").ok_or("patch requires -o OUT")?;
     let bytes = read_input(path)?;
@@ -310,8 +360,23 @@ fn cmd_patch(args: &Args) -> Result<(), String> {
     };
 
     let opts = Options { app, payload, config };
+    let mut cache_summary = None;
     let res = match args.value("backend") {
-        None => instrument(&bytes, &opts).map_err(|e| e.to_string())?,
+        None => match &cache_dir {
+            None => instrument(&bytes, &opts).map_err(|e| e.to_string())?,
+            Some(dir) => {
+                let cache = e9cache::Cache::open(&e9cache::CacheConfig {
+                    dir: Some(dir.clone()),
+                    ..e9cache::CacheConfig::default()
+                })
+                .map_err(|e| format!("cannot open cache {}: {e}", dir.display()))?;
+                let disasm = e9front::disassemble_text(&bytes).map_err(|e| e.to_string())?;
+                let res = e9front::instrument_cached(&bytes, &disasm, &opts, &cache)
+                    .map_err(|e| e.to_string())?;
+                cache_summary = Some(cache.stats().summary());
+                res
+            }
+        },
         Some(spec) => {
             let disasm = e9front::disassemble_text(&bytes).map_err(|e| e.to_string())?;
             let mut client = backend_client(spec)?;
@@ -319,6 +384,15 @@ fn cmd_patch(args: &Args) -> Result<(), String> {
                 .map_err(|e| e.to_string())?
         }
     };
+    if let Some(c) = &res.cache {
+        match c.disposition {
+            e9proto::CacheDisposition::Hit => println!("cache: hit {}", c.digest),
+            _ => println!("cache: miss — stored {}", c.digest),
+        }
+    }
+    if let Some(summary) = cache_summary {
+        println!("{summary}");
+    }
     e9front::output::write_atomic(std::path::Path::new(out_path), &res.rewrite.binary)
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     if args.flag("verify") {
@@ -466,5 +540,51 @@ mod tests {
         let args = parse(&["demo.elf", "-o", "o.e9", "--backend", "/tmp/e9.sock"]);
         assert_eq!(args.value("backend"), Some("/tmp/e9.sock"));
         assert_eq!(args.positional, vec!["demo.elf".to_string()]);
+    }
+
+    #[test]
+    fn no_cache_with_cache_dir_is_a_named_conflict() {
+        let args = parse(&["x", "-o", "o", "--no-cache", "--cache-dir", "/tmp/c"]);
+        let err = resolve_cache_dir_from(&args, None).unwrap_err();
+        assert!(err.contains("--no-cache"), "{err}");
+        assert!(err.contains("--cache-dir"), "{err}");
+    }
+
+    #[test]
+    fn cache_dir_with_backend_is_rejected_with_guidance() {
+        let args = parse(&["x", "-o", "o", "--backend", "stdio", "--cache-dir", "/tmp/c"]);
+        let err = resolve_cache_dir_from(&args, None).unwrap_err();
+        assert!(err.contains("e9patchd --cache-dir"), "{err}");
+    }
+
+    #[test]
+    fn cache_dir_flag_wins_over_environment() {
+        let args = parse(&["x", "-o", "o", "--cache-dir", "/flag"]);
+        let dir = resolve_cache_dir_from(&args, Some("/env".into())).unwrap();
+        assert_eq!(dir, Some(std::path::PathBuf::from("/flag")));
+    }
+
+    #[test]
+    fn environment_provides_a_default_and_no_cache_disables_it() {
+        let plain = parse(&["x", "-o", "o"]);
+        let dir = resolve_cache_dir_from(&plain, Some("/env".into())).unwrap();
+        assert_eq!(dir, Some(std::path::PathBuf::from("/env")));
+        let off = parse(&["x", "-o", "o", "--no-cache"]);
+        assert_eq!(resolve_cache_dir_from(&off, Some("/env".into())).unwrap(), None);
+    }
+
+    #[test]
+    fn ambient_cache_dir_is_ignored_behind_a_backend() {
+        // env var + --backend silently caches nothing (the daemon owns its
+        // cache); only the explicit flag spelling is a hard error.
+        let args = parse(&["x", "-o", "o", "--backend", "stdio"]);
+        assert_eq!(resolve_cache_dir_from(&args, Some("/env".into())).unwrap(), None);
+    }
+
+    #[test]
+    fn cache_dir_requires_an_argument() {
+        let args = parse(&["x", "-o", "o", "--cache-dir"]);
+        let err = resolve_cache_dir_from(&args, None).unwrap_err();
+        assert!(err.contains("DIR"), "{err}");
     }
 }

@@ -102,6 +102,8 @@ pub struct Instrumented {
     pub counter_addr: Option<u64>,
     /// Trace ring header address, when [`Payload::Trace`] was used.
     pub trace_addr: Option<u64>,
+    /// How the rewrite cache participated (`None` = no cache in play).
+    pub cache: Option<CacheOutcome>,
 }
 
 /// Frontend error.
@@ -114,6 +116,14 @@ pub enum FrontError {
     /// The external patch backend failed (protocol, transport, or an
     /// in-band error reply).
     Backend(String),
+    /// A cached negative entry: this exact job failed before, and the
+    /// original typed error is replayed without re-running the rewriter.
+    CachedFailure {
+        /// The wire error code of the original failure.
+        code: i64,
+        /// The original failure message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for FrontError {
@@ -122,6 +132,9 @@ impl std::fmt::Display for FrontError {
             FrontError::Input(m) => write!(f, "bad input: {m}"),
             FrontError::Rewrite(e) => write!(f, "rewrite failed: {e}"),
             FrontError::Backend(m) => write!(f, "backend failed: {m}"),
+            FrontError::CachedFailure { code, message } => {
+                write!(f, "rewrite failed (cached, code {code}): {message}")
+            }
         }
     }
 }
@@ -288,6 +301,7 @@ pub fn instrument_with_disasm(
         violations_addr: p.violations_addr,
         counter_addr: p.counter_addr,
         trace_addr: p.trace_addr,
+        cache: None,
     })
 }
 
@@ -457,8 +471,23 @@ pub fn instrument_via_backend(
         client.patch(r.addr, r.template.clone())?;
     }
     let reply = client.emit()?;
+    let cache = CacheOutcome::from_reply(&reply);
+    let mut out = Instrumented {
+        rewrite: output_from_reply(reply),
+        sites: p.sites.len(),
+        violations_addr: p.violations_addr,
+        counter_addr: p.counter_addr,
+        trace_addr: p.trace_addr,
+        cache: None,
+    };
+    out.cache = cache;
+    Ok(out)
+}
 
-    let rewrite = RewriteOutput {
+/// Convert a wire [`e9proto::EmitReply`] back into the in-process
+/// [`RewriteOutput`] shape (shared by the backend and cached paths).
+pub fn output_from_reply(reply: e9proto::EmitReply) -> RewriteOutput {
+    RewriteOutput {
         binary: reply.binary,
         stats: reply.stats,
         size: reply.size,
@@ -474,14 +503,130 @@ pub fn instrument_via_backend(
                 len: m.len,
             })
             .collect(),
-    };
-    Ok(Instrumented {
-        rewrite,
-        sites: p.sites.len(),
-        violations_addr: p.violations_addr,
-        counter_addr: p.counter_addr,
-        trace_addr: p.trace_addr,
-    })
+    }
+}
+
+/// Inverse of [`output_from_reply`]: the canonical reply form of a cold
+/// rewrite, which is what the cache stores.
+fn reply_from_output(out: &RewriteOutput) -> e9proto::EmitReply {
+    e9proto::EmitReply {
+        binary: out.binary.clone(),
+        stats: out.stats,
+        size: out.size,
+        loader_addr: out.loader_addr,
+        trap_count: out.trap_count as u64,
+        reports: out.reports.clone(),
+        mappings: out
+            .mappings
+            .iter()
+            .map(|m| e9proto::msg::WireMapping {
+                vaddr: m.vaddr,
+                file_off: m.file_off,
+                len: m.len,
+            })
+            .collect(),
+        cache: e9proto::CacheDisposition::Off,
+        digest: None,
+    }
+}
+
+/// How the cache participated in an instrumentation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheOutcome {
+    /// Hit or miss (never `Off` — absence is modelled by
+    /// `Instrumented::cache == None`).
+    pub disposition: e9proto::CacheDisposition,
+    /// Hex cache key of the job.
+    pub digest: String,
+}
+
+impl CacheOutcome {
+    fn from_reply(reply: &e9proto::EmitReply) -> Option<CacheOutcome> {
+        match reply.cache {
+            e9proto::CacheDisposition::Off => None,
+            d => Some(CacheOutcome {
+                disposition: d,
+                digest: reply.digest.clone().unwrap_or_default(),
+            }),
+        }
+    }
+}
+
+/// [`instrument_with_disasm`] through a rewrite cache: the job key is
+/// derived exactly as an `e9patchd` session would derive it (same codec,
+/// same config encoding), so the in-process path and a daemon with the
+/// same `--cache-dir` share artifacts.
+///
+/// A hit returns bytes identical to a cold rewrite — guaranteed by the
+/// pipeline's determinism and re-checked end-to-end in the integration
+/// suite. Corrupt or unreadable entries degrade to a cold rewrite.
+///
+/// # Errors
+///
+/// As [`instrument_with_disasm`], plus [`FrontError::CachedFailure`] when
+/// a negative entry short-circuits a known-failing job.
+pub fn instrument_cached(
+    binary: &[u8],
+    disasm: &[Insn],
+    opts: &Options,
+    cache: &e9cache::Cache,
+) -> Result<Instrumented, FrontError> {
+    let p = plan(binary, disasm, opts)?;
+    let key = e9proto::cachekey::rewrite_key(binary, disasm, &p.extra, &p.requests, &opts.config);
+    let digest = e9cache::sha256::hex(&key);
+    match cache.lookup(&key) {
+        Some(e9cache::Entry::Ok(payload)) => {
+            // Stored payload is the canonical-JSON emit reply of the cold
+            // run; an undecodable one falls through to a cold rewrite.
+            if let Some(reply) = e9proto::json::parse(&payload)
+                .ok()
+                .and_then(|v| e9proto::EmitReply::from_json(&v).ok())
+            {
+                return Ok(Instrumented {
+                    rewrite: output_from_reply(reply),
+                    sites: p.sites.len(),
+                    violations_addr: p.violations_addr,
+                    counter_addr: p.counter_addr,
+                    trace_addr: p.trace_addr,
+                    cache: Some(CacheOutcome {
+                        disposition: e9proto::CacheDisposition::Hit,
+                        digest,
+                    }),
+                });
+            }
+        }
+        Some(e9cache::Entry::Negative { code, message }) => {
+            return Err(FrontError::CachedFailure { code, message });
+        }
+        None => {}
+    }
+    match Rewriter::new(opts.config).rewrite(binary, disasm, &p.requests, &p.extra) {
+        Ok(rewrite) => {
+            let stored = reply_from_output(&rewrite).to_json().serialize().into_bytes();
+            cache.put(&key, &e9cache::Entry::Ok(stored));
+            Ok(Instrumented {
+                rewrite,
+                sites: p.sites.len(),
+                violations_addr: p.violations_addr,
+                counter_addr: p.counter_addr,
+                trace_addr: p.trace_addr,
+                cache: Some(CacheOutcome {
+                    disposition: e9proto::CacheDisposition::Miss,
+                    digest,
+                }),
+            })
+        }
+        Err(e) => {
+            cache.put(
+                &key,
+                &e9cache::Entry::Negative {
+                    code: e9proto::msg::code::REWRITE,
+                    message: e.to_string(),
+                },
+            );
+            Err(FrontError::Rewrite(e))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -692,6 +837,29 @@ mod tests {
         assert_eq!(via.rewrite.loader_addr, direct.rewrite.loader_addr);
         assert_eq!(via.sites, direct.sites);
         assert_eq!(via.counter_addr, direct.counter_addr);
+    }
+
+    #[test]
+    fn cached_path_hits_and_matches_cold() {
+        let sb = sample();
+        let opts = Options::new(Application::A1Jumps, Payload::Counter);
+        let cache = e9cache::Cache::in_memory();
+        let cold = instrument_cached(&sb.binary, &sb.disasm, &opts, &cache).unwrap();
+        let cold_outcome = cold.cache.as_ref().expect("cache in play");
+        assert_eq!(cold_outcome.disposition, e9proto::CacheDisposition::Miss);
+        let warm = instrument_cached(&sb.binary, &sb.disasm, &opts, &cache).unwrap();
+        let warm_outcome = warm.cache.as_ref().expect("cache in play");
+        assert_eq!(warm_outcome.disposition, e9proto::CacheDisposition::Hit);
+        assert_eq!(warm_outcome.digest, cold_outcome.digest);
+        // The hit invariant: byte-identical to the cold run...
+        assert_eq!(warm.rewrite.binary, cold.rewrite.binary);
+        assert_eq!(warm.rewrite.stats, cold.rewrite.stats);
+        assert_eq!(warm.rewrite.reports, cold.rewrite.reports);
+        assert_eq!(warm.counter_addr, cold.counter_addr);
+        // ...and to the plain uncached path.
+        let direct = instrument_with_disasm(&sb.binary, &sb.disasm, &opts).unwrap();
+        assert_eq!(warm.rewrite.binary, direct.rewrite.binary);
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

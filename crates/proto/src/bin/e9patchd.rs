@@ -23,9 +23,18 @@
 //! * `--jobs N` — default planner worker count for every session (the
 //!   parallel sharded pipeline; output is byte-identical for every N).
 //!   A client's explicit `option jobs` overrides it.
+//!
+//! Rewrite cache (PR 5): `--cache-dir PATH` enables the two-tier
+//! content-addressed cache (memory LRU in front of an on-disk CAS at
+//! `PATH`), shared by every connection. `--cache-mem-bytes N` bounds (or,
+//! alone, enables memory-only caching); `--cache-disk-bytes N` adds
+//! size-budgeted LRU eviction of the disk tier. Clients observe hits via
+//! the `cache`/`digest` fields of the `emit` reply and the `cache`
+//! command (stats / clear).
 
 use e9proto::server::ServeConfig;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
@@ -39,7 +48,11 @@ USAGE:
 OPTIONS:
   --timeout-ms N        socket read/write timeout in ms (default 30000, 0 = none)
   --max-line-bytes N    longest accepted request line (default 67108864)
-  --jobs N              default planner worker count (default: sequential)",
+  --jobs N              default planner worker count (default: sequential)
+  --cache-dir PATH      enable the rewrite cache with an on-disk tier at PATH
+  --cache-mem-bytes N   memory-tier budget in bytes (default 67108864;
+                        without --cache-dir, enables memory-only caching)
+  --cache-disk-bytes N  disk-tier budget in bytes (default: unbounded)",
         e9proto::PROTOCOL_VERSION
     );
     ExitCode::from(2)
@@ -51,6 +64,8 @@ fn main() -> ExitCode {
     let mut max_conns: Option<usize> = None;
     let mut stdio = false;
     let mut config = ServeConfig::default();
+    let mut cache_config = e9cache::CacheConfig::default();
+    let mut want_cache = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -91,11 +106,40 @@ fn main() -> ExitCode {
                 }
                 i += 2;
             }
+            "--cache-dir" if i + 1 < argv.len() => {
+                cache_config.dir = Some(std::path::PathBuf::from(&argv[i + 1]));
+                want_cache = true;
+                i += 2;
+            }
+            "--cache-mem-bytes" if i + 1 < argv.len() => {
+                match argv[i + 1].parse::<usize>() {
+                    Ok(n) => cache_config.mem_bytes = Some(n),
+                    Err(_) => return usage(),
+                }
+                want_cache = true;
+                i += 2;
+            }
+            "--cache-disk-bytes" if i + 1 < argv.len() => {
+                match argv[i + 1].parse::<u64>() {
+                    Ok(n) => cache_config.disk_bytes = Some(n),
+                    Err(_) => return usage(),
+                }
+                i += 2;
+            }
             _ => return usage(),
         }
     }
     if stdio && socket.is_some() {
         return usage();
+    }
+    if want_cache {
+        match e9cache::Cache::open(&cache_config) {
+            Ok(cache) => config.cache = Some(Arc::new(cache)),
+            Err(e) => {
+                eprintln!("e9patchd: cannot open cache: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     let result = match socket {
         #[cfg(unix)]

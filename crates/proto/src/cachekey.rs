@@ -1,0 +1,207 @@
+//! Cache-key derivation for finished rewrites.
+//!
+//! A rewrite's output is a pure function of `(input ELF bytes, the full
+//! command batch, the rewriter configuration)` — the pipeline has been
+//! deterministic since PR 1, and PR 4 pinned byte-identical output across
+//! every `--jobs` value. That makes the output safely addressable by a
+//! digest of those inputs, which is what [`rewrite_key`] computes.
+//!
+//! The batch is hashed through its **canonical wire encoding**: each
+//! logical step (`instruction`, `reserve`, `patch`) is re-expressed as a
+//! [`Command`] and serialized with the canonical JSON codec ([`crate::json`]
+//! emits no whitespace and insertion-ordered keys). Reusing the codec is
+//! the point — `e9tool patch --cache-dir` (in-process) and an `e9patchd`
+//! session (wire) derive byte-identical keys for the same logical job, so
+//! they share cache entries.
+//!
+//! Deliberately **excluded** from the key:
+//!
+//! * `jobs` — the parallelism degree changes wall-clock, not bytes
+//!   (PR 4's parity guarantee); including it would split the cache per
+//!   thread count for identical outputs.
+//! * anything about the serving surface (socket vs stdio vs in-process),
+//!   session limits, or I/O paths.
+//!
+//! Versioning: the key material starts with a domain tag plus
+//! [`e9cache::FORMAT_VERSION`] and [`PROTOCOL_VERSION`], so any change to
+//! the entry encoding or the wire grammar re-keys the world instead of
+//! misreading old entries. All multi-byte parts are length-prefixed —
+//! the encoding is injective, two different jobs cannot produce the same
+//! key material.
+
+use crate::json::Json;
+use crate::msg::{Command, PROTOCOL_VERSION};
+use e9cache::{Digest, Sha256};
+use e9patch::planner::AllocPolicy;
+use e9patch::{ExtraSegment, PatchRequest, RewriteConfig};
+use e9x86::insn::Insn;
+
+/// Domain-separation tag (NUL-terminated so no other use of the hash can
+/// collide with key material by accident).
+const DOMAIN: &[u8] = b"e9cache/rewrite-key\0";
+
+/// Absorb one length-prefixed part.
+fn part(h: &mut Sha256, bytes: &[u8]) {
+    h.update(&(bytes.len() as u64).to_le_bytes());
+    h.update(bytes);
+}
+
+/// Canonical JSON encoding of the cache-relevant [`RewriteConfig`]
+/// fields (everything that can change output bytes; `jobs` is parity-
+/// guaranteed and therefore omitted).
+pub fn config_json(cfg: &RewriteConfig) -> Json {
+    crate::json::obj(vec![
+        ("t1", Json::Bool(cfg.tactics.t1)),
+        ("t2", Json::Bool(cfg.tactics.t2)),
+        ("t3", Json::Bool(cfg.tactics.t3)),
+        ("b0", Json::Bool(cfg.b0_fallback)),
+        ("granularity", Json::Int(cfg.granularity as i128)),
+        ("grouping", Json::Bool(cfg.grouping)),
+        (
+            "alloc",
+            Json::Str(
+                match cfg.alloc_policy {
+                    AllocPolicy::FirstFitLow => "low",
+                    AllocPolicy::FirstFitHigh => "high",
+                }
+                .into(),
+            ),
+        ),
+    ])
+}
+
+/// The canonical batch encoding: every logical step as its wire command,
+/// in session order (instructions, then reserved segments, then patches
+/// — the order the planner consumes them).
+fn batch_json(insns: &[Insn], extra: &[ExtraSegment], patches: &[PatchRequest]) -> Json {
+    let mut steps = Vec::with_capacity(insns.len() + extra.len() + patches.len());
+    for i in insns {
+        steps.push(
+            Command::Instruction {
+                addr: i.addr,
+                bytes: i.bytes().to_vec(),
+            }
+            .to_json(),
+        );
+    }
+    for e in extra {
+        steps.push(
+            Command::Reserve {
+                vaddr: e.vaddr,
+                bytes: e.bytes.clone(),
+                exec: e.exec,
+                write: e.write,
+            }
+            .to_json(),
+        );
+    }
+    for p in patches {
+        steps.push(
+            Command::Patch {
+                addr: p.addr,
+                template: p.template.clone(),
+            }
+            .to_json(),
+        );
+    }
+    Json::Arr(steps)
+}
+
+/// Derive the content-address of a rewrite job.
+pub fn rewrite_key(
+    binary: &[u8],
+    insns: &[Insn],
+    extra: &[ExtraSegment],
+    patches: &[PatchRequest],
+    cfg: &RewriteConfig,
+) -> Digest {
+    let mut h = Sha256::new();
+    h.update(DOMAIN);
+    h.update(&e9cache::FORMAT_VERSION.to_le_bytes());
+    h.update(&PROTOCOL_VERSION.to_le_bytes());
+    part(&mut h, binary);
+    part(&mut h, batch_json(insns, extra, patches).serialize().as_bytes());
+    part(&mut h, config_json(cfg).serialize().as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e9patch::Template;
+
+    fn insn(addr: u64, bytes: &[u8]) -> Insn {
+        e9x86::decode::decode(bytes, addr).expect("test instruction decodes")
+    }
+
+    fn job() -> (Vec<u8>, Vec<Insn>, Vec<ExtraSegment>, Vec<PatchRequest>) {
+        (
+            vec![0x7f, b'E', b'L', b'F', 0, 1, 2, 3],
+            vec![insn(0x401000, &[0x48, 0x89, 0x03]), insn(0x401003, &[0x90])],
+            vec![ExtraSegment {
+                vaddr: 0x30000000,
+                bytes: vec![0xAA; 16],
+                exec: false,
+                write: true,
+            }],
+            vec![PatchRequest {
+                addr: 0x401000,
+                template: Template::Empty,
+            }],
+        )
+    }
+
+    #[test]
+    fn key_is_deterministic() {
+        let (bin, insns, extra, patches) = job();
+        let cfg = RewriteConfig::default();
+        let a = rewrite_key(&bin, &insns, &extra, &patches, &cfg);
+        let b = rewrite_key(&bin, &insns, &extra, &patches, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_input_part_changes_the_key() {
+        let (bin, insns, extra, patches) = job();
+        let cfg = RewriteConfig::default();
+        let base = rewrite_key(&bin, &insns, &extra, &patches, &cfg);
+
+        let mut bin2 = bin.clone();
+        bin2[7] ^= 1;
+        assert_ne!(rewrite_key(&bin2, &insns, &extra, &patches, &cfg), base);
+
+        assert_ne!(rewrite_key(&bin, &insns[..1], &extra, &patches, &cfg), base);
+        assert_ne!(rewrite_key(&bin, &insns, &[], &patches, &cfg), base);
+        assert_ne!(rewrite_key(&bin, &insns, &extra, &[], &cfg), base);
+
+        let mut cfg2 = cfg;
+        cfg2.granularity += 1;
+        assert_ne!(rewrite_key(&bin, &insns, &extra, &patches, &cfg2), base);
+        let mut cfg3 = cfg;
+        cfg3.tactics.t2 = !cfg3.tactics.t2;
+        assert_ne!(rewrite_key(&bin, &insns, &extra, &patches, &cfg3), base);
+    }
+
+    #[test]
+    fn jobs_does_not_split_the_cache() {
+        // PR 4 guarantees byte-identical output for every jobs value, so
+        // the key must not depend on it.
+        let (bin, insns, extra, patches) = job();
+        let mut cfg = RewriteConfig::default();
+        let base = rewrite_key(&bin, &insns, &extra, &patches, &cfg);
+        cfg.jobs = Some(8);
+        assert_eq!(rewrite_key(&bin, &insns, &extra, &patches, &cfg), base);
+    }
+
+    #[test]
+    fn length_prefixing_prevents_part_smearing() {
+        // Moving a byte from the end of the binary into the batch text
+        // must change the key (the parts are length-prefixed, so the
+        // concatenated key material cannot alias).
+        let (bin, insns, _, patches) = job();
+        let cfg = RewriteConfig::default();
+        let a = rewrite_key(&bin, &insns, &[], &patches, &cfg);
+        let b = rewrite_key(&bin[..bin.len() - 1], &insns, &[], &patches, &cfg);
+        assert_ne!(a, b);
+    }
+}

@@ -12,7 +12,8 @@
 //!   and benchmarks.
 
 use crate::json;
-use crate::msg::{Command, EmitReply, Request, Response, RpcError, PROTOCOL_VERSION};
+use crate::msg::{CacheAction, CacheStatsReply, Command, EmitReply, Request, Response, RpcError,
+                 PROTOCOL_VERSION};
 use e9patch::{ExtraSegment, Template};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::path::PathBuf;
@@ -293,6 +294,31 @@ impl ProtoClient {
     pub fn emit(&mut self) -> Result<EmitReply, ClientError> {
         let v = self.call(Command::Emit)?;
         EmitReply::from_json(&v).map_err(ClientError::Protocol)
+    }
+
+    /// Fetch the server's rewrite-cache counters.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtoClient::call`], plus reply-decoding failures.
+    pub fn cache_stats(&mut self) -> Result<CacheStatsReply, ClientError> {
+        let v = self.call(Command::Cache {
+            action: CacheAction::Stats,
+        })?;
+        CacheStatsReply::from_json(&v).map_err(ClientError::Protocol)
+    }
+
+    /// Drop every entry from the server's rewrite cache. Returns whether
+    /// a cache was configured at all.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtoClient::call`].
+    pub fn cache_clear(&mut self) -> Result<bool, ClientError> {
+        let v = self.call(Command::Cache {
+            action: CacheAction::Clear,
+        })?;
+        Ok(v.get("cleared").and_then(json::Json::as_bool).unwrap_or(false))
     }
 
     /// Ask the backend to shut down.

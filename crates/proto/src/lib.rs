@@ -33,6 +33,7 @@
 //! function of the commands sent: the determinism gate extends across the
 //! process boundary.
 
+pub mod cachekey;
 pub mod client;
 pub mod json;
 pub mod msg;
@@ -41,6 +42,6 @@ pub mod session;
 
 pub use client::{ClientError, ProtoClient};
 pub use json::{Json, JsonError};
-pub use msg::{hex_decode, hex_encode, Command, EmitReply, Request, Response, RpcError,
-              PROTOCOL_VERSION};
+pub use msg::{hex_decode, hex_encode, CacheAction, CacheDisposition, CacheStatsReply, Command,
+              EmitReply, Request, Response, RpcError, PROTOCOL_VERSION};
 pub use session::Session;

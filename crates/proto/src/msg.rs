@@ -143,9 +143,43 @@ pub enum Command {
     /// Run the rewrite over everything buffered and return the patched
     /// binary plus statistics.
     Emit,
+    /// Query or manage the server's rewrite cache (PR 5). Allowed in any
+    /// session state — it touches no per-session rewrite state.
+    Cache {
+        /// What to do.
+        action: CacheAction,
+    },
     /// Ask the server to stop accepting connections (daemon) or end the
     /// session (stdio).
     Shutdown,
+}
+
+/// Actions of the `cache` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAction {
+    /// Return counters and tier occupancy.
+    Stats,
+    /// Drop every entry from both tiers.
+    Clear,
+}
+
+impl CacheAction {
+    /// The wire name of the action.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheAction::Stats => "stats",
+            CacheAction::Clear => "clear",
+        }
+    }
+
+    /// Inverse of [`name`](CacheAction::name).
+    pub fn from_name(s: &str) -> Option<CacheAction> {
+        Some(match s {
+            "stats" => CacheAction::Stats,
+            "clear" => CacheAction::Clear,
+            _ => return None,
+        })
+    }
 }
 
 impl Command {
@@ -159,8 +193,22 @@ impl Command {
             Command::Instruction { .. } => "instruction",
             Command::Patch { .. } => "patch",
             Command::Emit => "emit",
+            Command::Cache { .. } => "cache",
             Command::Shutdown => "shutdown",
         }
+    }
+
+    /// The full canonical-JSON form, `{"method":M,"params":{...}}`.
+    ///
+    /// This is what the cache key derivation (`crate::cachekey`) hashes:
+    /// reusing the wire codec means the in-process e9tool path and a
+    /// daemon session derive byte-identical key material from the same
+    /// logical batch.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("method", Json::Str(self.method().into())),
+            ("params", self.params()),
+        ])
     }
 
     fn params(&self) -> Json {
@@ -190,6 +238,7 @@ impl Command {
                 ("addr", Json::Int(*addr as i128)),
                 ("template", template_to_json(template)),
             ]),
+            Command::Cache { action } => obj(vec![("action", Json::Str(action.name().into()))]),
             Command::Emit | Command::Shutdown => Json::Obj(Vec::new()),
         }
     }
@@ -347,6 +396,17 @@ impl Request {
                 )?,
             },
             "emit" => Command::Emit,
+            "cache" => Command::Cache {
+                action: p
+                    .get("action")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| missing("action"))
+                    .and_then(|s| {
+                        CacheAction::from_name(s).ok_or_else(|| {
+                            RpcError::invalid_params(format!("unknown cache action {s:?}"))
+                        })
+                    })?,
+            },
             "shutdown" => Command::Shutdown,
             other => {
                 return Err(RpcError::new(
@@ -488,6 +548,39 @@ pub struct WireMapping {
     pub len: u64,
 }
 
+/// How the rewrite cache participated in an `emit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheDisposition {
+    /// No cache configured (or bypassed).
+    #[default]
+    Off,
+    /// Served from the cache — the reply bytes were NOT recomputed.
+    Hit,
+    /// Computed cold and stored for next time.
+    Miss,
+}
+
+impl CacheDisposition {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheDisposition::Off => "off",
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Miss => "miss",
+        }
+    }
+
+    /// Inverse of [`name`](CacheDisposition::name).
+    pub fn from_name(s: &str) -> Option<CacheDisposition> {
+        Some(match s {
+            "off" => CacheDisposition::Off,
+            "hit" => CacheDisposition::Hit,
+            "miss" => CacheDisposition::Miss,
+            _ => return None,
+        })
+    }
+}
+
 /// The fully-typed payload of a successful `emit` response: the patched
 /// binary plus everything [`e9patch::RewriteOutput`] reports.
 #[derive(Debug, Clone, PartialEq)]
@@ -506,6 +599,13 @@ pub struct EmitReply {
     pub reports: Vec<SiteReport>,
     /// The loader's mapping table.
     pub mappings: Vec<WireMapping>,
+    /// Whether this reply came from the rewrite cache.
+    ///
+    /// *Not* part of the cached payload semantics: the server overrides
+    /// it per-response, and the cache key covers only rewrite inputs.
+    pub cache: CacheDisposition,
+    /// Hex cache key of the request, when a cache was consulted.
+    pub digest: Option<String>,
 }
 
 fn tactic_name(t: TacticKind) -> &'static str {
@@ -607,6 +707,14 @@ impl EmitReply {
                         .collect(),
                 ),
             ),
+            ("cache", Json::Str(self.cache.name().into())),
+            (
+                "digest",
+                match &self.digest {
+                    Some(d) => Json::Str(d.clone()),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -682,6 +790,19 @@ impl EmitReply {
                 len: u(m, "len")?,
             });
         }
+        // Cache fields are absent from pre-cache replies (and from the
+        // stored payload form, which predates the disposition override).
+        let cache = match v.get("cache") {
+            Some(Json::Str(name)) => CacheDisposition::from_name(name)
+                .ok_or_else(|| format!("bad cache disposition {name:?}"))?,
+            Some(Json::Null) | None => CacheDisposition::Off,
+            Some(_) => return Err("bad cache field".into()),
+        };
+        let digest = match v.get("digest") {
+            Some(Json::Str(d)) => Some(d.clone()),
+            Some(Json::Null) | None => None,
+            Some(_) => return Err("bad digest field".into()),
+        };
         Ok(EmitReply {
             binary,
             stats,
@@ -690,6 +811,82 @@ impl EmitReply {
             trap_count: u(v, "trap_count")?,
             reports,
             mappings,
+            cache,
+            digest,
+        })
+    }
+}
+
+// ---- typed cache-stats reply --------------------------------------------
+
+/// The fully-typed payload of a successful `cache stats` response: a
+/// snapshot of the server's [`e9cache::CacheStats`] plus whether a cache
+/// is configured at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStatsReply {
+    /// Whether the server has a cache at all (`false` → counters are 0).
+    pub enabled: bool,
+    /// Whether a disk tier is configured.
+    pub disk: bool,
+    /// Counter snapshot.
+    pub stats: e9cache::CacheStats,
+}
+
+impl CacheStatsReply {
+    /// Serialize to the `result` object of a `cache stats` response.
+    pub fn to_json(&self) -> Json {
+        let s = &self.stats;
+        obj(vec![
+            ("enabled", Json::Bool(self.enabled)),
+            ("disk", Json::Bool(self.disk)),
+            ("hits", Json::Int(s.hits as i128)),
+            ("mem_hits", Json::Int(s.mem_hits as i128)),
+            ("disk_hits", Json::Int(s.disk_hits as i128)),
+            ("negative_hits", Json::Int(s.negative_hits as i128)),
+            ("misses", Json::Int(s.misses as i128)),
+            ("stores", Json::Int(s.stores as i128)),
+            ("mem_evictions", Json::Int(s.mem_evictions as i128)),
+            ("disk_evictions", Json::Int(s.disk_evictions as i128)),
+            ("verify_failures", Json::Int(s.verify_failures as i128)),
+            ("errors", Json::Int(s.errors as i128)),
+            ("mem_entries", Json::Int(s.mem_entries as i128)),
+            ("mem_bytes", Json::Int(s.mem_bytes as i128)),
+        ])
+    }
+
+    /// Decode the `result` object of a `cache stats` response.
+    ///
+    /// # Errors
+    ///
+    /// A string description of the first malformed field.
+    pub fn from_json(v: &Json) -> Result<CacheStatsReply, String> {
+        let u = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("cache stats: missing {name}"))
+        };
+        let b = |name: &str| -> Result<bool, String> {
+            v.get(name)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("cache stats: missing {name}"))
+        };
+        Ok(CacheStatsReply {
+            enabled: b("enabled")?,
+            disk: b("disk")?,
+            stats: e9cache::CacheStats {
+                hits: u("hits")?,
+                mem_hits: u("mem_hits")?,
+                disk_hits: u("disk_hits")?,
+                negative_hits: u("negative_hits")?,
+                misses: u("misses")?,
+                stores: u("stores")?,
+                mem_evictions: u("mem_evictions")?,
+                disk_evictions: u("disk_evictions")?,
+                verify_failures: u("verify_failures")?,
+                errors: u("errors")?,
+                mem_entries: u("mem_entries")?,
+                mem_bytes: u("mem_bytes")?,
+            },
         })
     }
 }
@@ -826,10 +1023,79 @@ mod tests {
                 file_off: 0x2000,
                 len: 4096,
             }],
+            cache: CacheDisposition::Hit,
+            digest: Some("ab".repeat(32)),
         };
         let v = reply.to_json();
         let text = v.serialize();
         let back = EmitReply::from_json(&parse(text.as_bytes()).unwrap()).unwrap();
+        assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn emit_reply_without_cache_fields_decodes_as_off() {
+        // Pre-cache replies (and the stored payload form) omit the
+        // disposition fields; they must decode, not error.
+        let reply = EmitReply {
+            binary: vec![1],
+            stats: PatchStats::default(),
+            size: SizeStats::default(),
+            loader_addr: 0,
+            trap_count: 0,
+            reports: vec![],
+            mappings: vec![],
+            cache: CacheDisposition::Off,
+            digest: None,
+        };
+        let mut v = reply.to_json();
+        if let Json::Obj(members) = &mut v {
+            members.retain(|(k, _)| k != "cache" && k != "digest");
+        }
+        let back = EmitReply::from_json(&v).unwrap();
+        assert_eq!(back.cache, CacheDisposition::Off);
+        assert_eq!(back.digest, None);
+    }
+
+    #[test]
+    fn cache_command_roundtrip() {
+        for action in [CacheAction::Stats, CacheAction::Clear] {
+            let req = Request {
+                id: 1,
+                cmd: Command::Cache { action },
+            };
+            let line = req.encode();
+            let back = Request::decode(&parse(line.as_bytes()).unwrap()).unwrap();
+            assert_eq!(back, req);
+        }
+        let bad = Request::decode(
+            &parse(br#"{"id":1,"method":"cache","params":{"action":"defrag"}}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert_eq!(bad.code, code::INVALID_PARAMS);
+    }
+
+    #[test]
+    fn cache_stats_reply_roundtrip() {
+        let reply = CacheStatsReply {
+            enabled: true,
+            disk: true,
+            stats: e9cache::CacheStats {
+                hits: 5,
+                mem_hits: 3,
+                disk_hits: 2,
+                negative_hits: 1,
+                misses: 7,
+                stores: 7,
+                mem_evictions: 1,
+                disk_evictions: 2,
+                verify_failures: 1,
+                errors: 0,
+                mem_entries: 4,
+                mem_bytes: 4096,
+            },
+        };
+        let text = reply.to_json().serialize();
+        let back = CacheStatsReply::from_json(&parse(text.as_bytes()).unwrap()).unwrap();
         assert_eq!(back, reply);
     }
 }

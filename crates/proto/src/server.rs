@@ -34,6 +34,10 @@ pub struct ServeConfig {
     /// config (`e9patchd --jobs`). A client's explicit `option jobs`
     /// overrides it; `None` keeps the sequential planner.
     pub default_jobs: Option<usize>,
+    /// Shared rewrite cache (`e9patchd --cache-dir` / `--cache-mem-bytes`).
+    /// One [`Arc`](std::sync::Arc) handed to every connection's session,
+    /// so all clients pool artifacts; `None` disables caching.
+    pub cache: Option<std::sync::Arc<e9cache::Cache>>,
 }
 
 impl Default for ServeConfig {
@@ -43,6 +47,7 @@ impl Default for ServeConfig {
             limits: SessionLimits::default(),
             io_timeout: Some(Duration::from_millis(30_000)),
             default_jobs: None,
+            cache: None,
         }
     }
 }
@@ -160,6 +165,7 @@ pub fn serve_connection_with<R: BufRead, W: Write>(
 ) -> io::Result<bool> {
     let mut session = Session::with_limits(config.limits.clone());
     session.set_default_jobs(config.default_jobs);
+    session.set_cache(config.cache.clone());
     let mut line = Vec::new();
     loop {
         let response = match read_capped_line(reader, &mut line, config.max_line_bytes)? {

@@ -18,11 +18,15 @@
 //! After `emit` the session stays usable — more patches or option changes
 //! followed by another `emit` re-run the rewrite over the full batch.
 
-use crate::msg::{code, Command, EmitReply, RpcError, WireMapping, PROTOCOL_VERSION};
+use crate::cachekey;
+use crate::msg::{code, CacheAction, CacheDisposition, CacheStatsReply, Command, EmitReply,
+                 RpcError, WireMapping, PROTOCOL_VERSION};
 use crate::json::{obj, Json};
+use e9cache::{Cache, Entry};
 use e9patch::planner::AllocPolicy;
 use e9patch::{ExtraSegment, PatchRequest, RewriteConfig, Rewriter};
 use e9x86::insn::Insn;
+use std::sync::Arc;
 
 /// Per-session resource quotas. One hostile client must not be able to
 /// grow a session's buffers without bound: every intake command is checked
@@ -66,6 +70,8 @@ pub struct Session {
     patches: Vec<PatchRequest>,
     limits: SessionLimits,
     shutdown: bool,
+    /// Shared rewrite cache (one per server, not per session).
+    cache: Option<Arc<Cache>>,
 }
 
 impl Default for Session {
@@ -92,6 +98,7 @@ impl Session {
             patches: Vec::new(),
             limits,
             shutdown: false,
+            cache: None,
         }
     }
 
@@ -99,6 +106,12 @@ impl Session {
     /// `option jobs=<n>`. A later explicit `option jobs` overrides it.
     pub fn set_default_jobs(&mut self, jobs: Option<usize>) {
         self.config.jobs = jobs;
+    }
+
+    /// Attach a rewrite cache. The daemon passes one shared [`Arc`] to
+    /// every connection's session, so all clients pool their artifacts.
+    pub fn set_cache(&mut self, cache: Option<Arc<Cache>>) {
+        self.cache = cache;
     }
 
     fn over_limit(what: &str, cap: usize) -> RpcError {
@@ -161,6 +174,7 @@ impl Session {
                 Ok(Json::Obj(Vec::new()))
             }
             Command::Emit => self.emit_cmd(),
+            Command::Cache { action } => self.cache_cmd(action),
             Command::Shutdown => {
                 self.shutdown = true;
                 Ok(Json::Obj(Vec::new()))
@@ -280,13 +294,73 @@ impl Session {
     }
 
     fn emit_cmd(&mut self) -> Result<Json, RpcError> {
+        if self.binary.is_none() {
+            return Err(RpcError::state("emit before binary"));
+        }
+        let Some(cache) = self.cache.clone() else {
+            return self.emit_cold().map(|r| r.to_json());
+        };
+        let binary = self.binary.as_deref().expect("checked above");
+        let key = cachekey::rewrite_key(binary, &self.insns, &self.extra, &self.patches, &self.config);
+        let digest = e9cache::sha256::hex(&key);
+        match cache.lookup(&key) {
+            Some(Entry::Ok(payload)) => {
+                // The stored payload is the canonical-JSON reply of the
+                // cold run; re-decode and stamp the hit disposition.
+                // An undecodable payload (encoder/decoder drift, which
+                // FORMAT_VERSION should preclude) falls through cold.
+                if let Some(mut reply) = crate::json::parse(&payload)
+                    .ok()
+                    .and_then(|v| EmitReply::from_json(&v).ok())
+                {
+                    reply.cache = CacheDisposition::Hit;
+                    reply.digest = Some(digest);
+                    return Ok(reply.to_json());
+                }
+            }
+            Some(Entry::Negative { code, message }) => {
+                // Known-failing request: replay the original typed error
+                // without re-running the rewriter.
+                return Err(RpcError::new(code, message));
+            }
+            None => {}
+        }
+        match self.emit_cold() {
+            Ok(mut reply) => {
+                // Store the reply *before* the disposition stamp, so a
+                // future hit carries whatever disposition it earns then.
+                cache.put(&key, &Entry::Ok(reply.to_json().serialize().into_bytes()));
+                reply.cache = CacheDisposition::Miss;
+                reply.digest = Some(digest);
+                Ok(reply.to_json())
+            }
+            Err(e) => {
+                // Rewrite failures are deterministic too — cache them as
+                // negative entries. State/limit errors are about *this*
+                // session, not the job, and are not cached.
+                if e.code == code::REWRITE {
+                    cache.put(
+                        &key,
+                        &Entry::Negative {
+                            code: e.code,
+                            message: e.message.clone(),
+                        },
+                    );
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The uncached rewrite: run the planner over the buffered batch.
+    fn emit_cold(&self) -> Result<EmitReply, RpcError> {
         let Some(binary) = self.binary.as_deref() else {
             return Err(RpcError::state("emit before binary"));
         };
         let out = Rewriter::new(self.config)
             .rewrite(binary, &self.insns, &self.patches, &self.extra)
             .map_err(|e| RpcError::new(code::REWRITE, e.to_string()))?;
-        let reply = EmitReply {
+        Ok(EmitReply {
             binary: out.binary,
             stats: out.stats,
             size: out.size,
@@ -302,8 +376,35 @@ impl Session {
                     len: m.len,
                 })
                 .collect(),
-        };
-        Ok(reply.to_json())
+            cache: CacheDisposition::Off,
+            digest: None,
+        })
+    }
+
+    fn cache_cmd(&mut self, action: CacheAction) -> Result<Json, RpcError> {
+        match action {
+            CacheAction::Stats => {
+                let reply = match &self.cache {
+                    Some(c) => CacheStatsReply {
+                        enabled: true,
+                        disk: c.has_disk(),
+                        stats: c.stats(),
+                    },
+                    None => CacheStatsReply::default(),
+                };
+                Ok(reply.to_json())
+            }
+            CacheAction::Clear => {
+                let (cleared, disk_removed) = match &self.cache {
+                    Some(c) => (true, c.clear()),
+                    None => (false, 0),
+                };
+                Ok(obj(vec![
+                    ("cleared", Json::Bool(cleared)),
+                    ("disk_removed", Json::Int(disk_removed as i128)),
+                ]))
+            }
+        }
     }
 }
 
@@ -501,6 +602,141 @@ mod tests {
             })
             .unwrap_err();
         assert_eq!(e.code, code::DECODE);
+    }
+
+    /// A fully-driven session up to (but excluding) `emit`, with the
+    /// tiny workload patched at its first instruction.
+    fn primed_session(cache: Option<Arc<Cache>>) -> Session {
+        let (bin, code, base) = tiny();
+        let disasm = e9x86::decode::linear_sweep(&code, base);
+        let mut s = Session::new();
+        s.set_cache(cache);
+        s.handle(Command::Version { version: 1 }).unwrap();
+        s.handle(Command::Binary { bytes: bin }).unwrap();
+        for i in &disasm {
+            s.handle(Command::Instruction {
+                addr: i.addr,
+                bytes: i.bytes().to_vec(),
+            })
+            .unwrap();
+        }
+        s.handle(Command::Patch {
+            addr: base,
+            template: Template::Empty,
+        })
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn emit_without_cache_reports_off() {
+        let mut s = primed_session(None);
+        let reply = EmitReply::from_json(&s.handle(Command::Emit).unwrap()).unwrap();
+        assert_eq!(reply.cache, crate::msg::CacheDisposition::Off);
+        assert_eq!(reply.digest, None);
+    }
+
+    #[test]
+    fn emit_misses_then_hits_byte_identically() {
+        use crate::msg::CacheDisposition;
+        let cache = Arc::new(Cache::in_memory());
+        // Two *sessions* sharing one cache, like two daemon connections.
+        let mut a = primed_session(Some(Arc::clone(&cache)));
+        let cold = EmitReply::from_json(&a.handle(Command::Emit).unwrap()).unwrap();
+        assert_eq!(cold.cache, CacheDisposition::Miss);
+        let digest = cold.digest.clone().expect("miss carries the digest");
+
+        let mut b = primed_session(Some(Arc::clone(&cache)));
+        let warm = EmitReply::from_json(&b.handle(Command::Emit).unwrap()).unwrap();
+        assert_eq!(warm.cache, CacheDisposition::Hit);
+        assert_eq!(warm.digest, Some(digest));
+        // The cache-hit invariant: bytes identical to the cold rewrite.
+        assert_eq!(warm.binary, cold.binary);
+        assert_eq!(warm.stats, cold.stats);
+        assert_eq!(warm.reports, cold.reports);
+        assert_eq!(warm.mappings, cold.mappings);
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.stores, 1);
+    }
+
+    #[test]
+    fn config_change_changes_the_key() {
+        let cache = Arc::new(Cache::in_memory());
+        let mut a = primed_session(Some(Arc::clone(&cache)));
+        a.handle(Command::Emit).unwrap();
+        // Same job but different granularity: a distinct cache entry.
+        let mut b = primed_session(Some(Arc::clone(&cache)));
+        b.handle(Command::Option {
+            name: "granularity".into(),
+            value: "4".into(),
+        })
+        .unwrap();
+        let reply = EmitReply::from_json(&b.handle(Command::Emit).unwrap()).unwrap();
+        assert_eq!(reply.cache, crate::msg::CacheDisposition::Miss);
+        assert_eq!(cache.stats().stores, 2);
+    }
+
+    #[test]
+    fn failing_rewrite_is_cached_negatively() {
+        let (bin, _, _) = tiny();
+        let cache = Arc::new(Cache::in_memory());
+        let mut s = Session::new();
+        s.set_cache(Some(Arc::clone(&cache)));
+        s.handle(Command::Version { version: 1 }).unwrap();
+        s.handle(Command::Binary { bytes: bin }).unwrap();
+        // A patch at an address with no declared instruction fails the
+        // rewrite deterministically.
+        s.handle(Command::Patch {
+            addr: 0x401000,
+            template: Template::Empty,
+        })
+        .unwrap();
+        let cold = s.handle(Command::Emit).unwrap_err();
+        assert_eq!(cold.code, code::REWRITE);
+        let warm = s.handle(Command::Emit).unwrap_err();
+        // Replayed typed error, served from the negative entry.
+        assert_eq!(warm, cold);
+        assert_eq!(cache.stats().negative_hits, 1);
+    }
+
+    #[test]
+    fn cache_command_reports_and_clears() {
+        use crate::msg::{CacheAction, CacheStatsReply};
+        // Without a cache: disabled, zero counters, clear is a no-op.
+        let mut bare = Session::new();
+        bare.handle(Command::Version { version: 1 }).unwrap();
+        let r = bare
+            .handle(Command::Cache {
+                action: CacheAction::Stats,
+            })
+            .unwrap();
+        let stats = CacheStatsReply::from_json(&r).unwrap();
+        assert!(!stats.enabled);
+
+        let cache = Arc::new(Cache::in_memory());
+        let mut s = primed_session(Some(Arc::clone(&cache)));
+        s.handle(Command::Emit).unwrap();
+        let r = s
+            .handle(Command::Cache {
+                action: CacheAction::Stats,
+            })
+            .unwrap();
+        let stats = CacheStatsReply::from_json(&r).unwrap();
+        assert!(stats.enabled);
+        assert!(!stats.disk);
+        assert_eq!(stats.stats.stores, 1);
+        let r = s
+            .handle(Command::Cache {
+                action: CacheAction::Clear,
+            })
+            .unwrap();
+        assert_eq!(r.get("cleared").and_then(Json::as_bool), Some(true));
+        // Cleared: the same emit misses again.
+        let reply = EmitReply::from_json(&s.handle(Command::Emit).unwrap()).unwrap();
+        assert_eq!(reply.cache, crate::msg::CacheDisposition::Miss);
     }
 
     #[test]

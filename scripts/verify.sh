@@ -17,10 +17,14 @@
 #   6. parallel planning determinism: --jobs 1 and --jobs 4 must produce
 #      byte-identical patched binaries (and match the sequential output),
 #      plus a bench_parallel smoke run
+#   7. rewrite cache: patching twice with --cache-dir must report a miss
+#      then a hit with byte-identical output, --no-cache must bypass the
+#      store, contradictory flags must fail with exit 1, and a seeded
+#      cache-surface fault campaign plus a bench_cache smoke must pass
 #
 # Knobs: E9QCHECK_CASES scales property-test depth (default 64);
 # E9_SEED pins the generator seed used by step 3's CLI runs;
-# E9FAULT_SEED pins the fault campaign seed used by step 5.
+# E9FAULT_SEED pins the fault campaign seeds used by steps 5 and 7.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -77,5 +81,31 @@ cmp "$tmp/a.j1.e9" "$tmp/a.j4.e9"
 cmp "$tmp/p.j1.e9" "$tmp/p.j4.e9"
 echo "parallel output byte-identical across worker counts: ok"
 cargo bench -q --offline -p e9bench --bench parallel -- --smoke --no-json
+
+echo "== rewrite cache (cold store, warm hit, byte-identical) =="
+cdir="$tmp/cache"
+"${e9tool[@]}" patch "$tmp/a.elf" -o "$tmp/a.c1.e9" --app a1 --cache-dir "$cdir" \
+  | tee "$tmp/c1.log"
+grep -q "cache: miss" "$tmp/c1.log" || { echo "first cached run did not miss" >&2; exit 1; }
+"${e9tool[@]}" patch "$tmp/a.elf" -o "$tmp/a.c2.e9" --app a1 --cache-dir "$cdir" \
+  | tee "$tmp/c2.log"
+grep -q "cache: hit" "$tmp/c2.log" || { echo "second cached run did not hit" >&2; exit 1; }
+cmp "$tmp/a.c1.e9" "$tmp/a.c2.e9"
+cmp "$tmp/a.e9" "$tmp/a.c1.e9"
+E9CACHE_DIR="$cdir" "${e9tool[@]}" patch "$tmp/a.elf" -o "$tmp/a.c3.e9" --app a1 --no-cache \
+  | tee "$tmp/c3.log"
+if grep -q "cache:" "$tmp/c3.log"; then
+  echo "--no-cache still touched the cache" >&2; exit 1
+fi
+cmp "$tmp/a.e9" "$tmp/a.c3.e9"
+if "${e9tool[@]}" patch "$tmp/a.elf" -o "$tmp/a.c4.e9" --app a1 \
+    --no-cache --cache-dir "$cdir" 2>"$tmp/c4.log"; then
+  echo "--no-cache with --cache-dir must fail" >&2; exit 1
+fi
+grep -q -- "--no-cache contradicts --cache-dir" "$tmp/c4.log" \
+  || { echo "conflict diagnostic missing" >&2; cat "$tmp/c4.log" >&2; exit 1; }
+echo "cache miss/hit byte-identical, bypass and conflict diagnostics: ok"
+target/release/e9fault --seed "${E9FAULT_SEED:-42}" --surface cache --cache-cases 120
+cargo bench -q --offline -p e9bench --bench cache -- --smoke --no-json
 
 echo "ALL CHECKS PASSED"
