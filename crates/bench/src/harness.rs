@@ -56,6 +56,7 @@ pub struct Harness {
     write_json: bool,
     throughput: Option<Throughput>,
     records: Vec<Record>,
+    notes: Vec<(String, String)>,
 }
 
 const WARMUP: Duration = Duration::from_millis(100);
@@ -91,7 +92,25 @@ impl Harness {
             write_json,
             throughput: None,
             records: Vec::new(),
+            notes: Vec::new(),
         }
+    }
+
+    /// Whether this is a `--smoke` run (benches can shrink their inputs).
+    pub fn is_smoke(&self) -> bool {
+        self.smoke
+    }
+
+    /// Median of an already-measured bench, for derived summary notes.
+    pub fn median_ns(&self, name: &str) -> Option<f64> {
+        self.records.iter().find(|r| r.name == name).map(|r| r.median_ns)
+    }
+
+    /// Attach a derived key/value to the JSON output (`"notes"` object).
+    /// `value` is embedded verbatim — pass a bare number, or quote it
+    /// yourself for a string.
+    pub fn note(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.notes.push((key.to_string(), value.to_string()));
     }
 
     /// Set the throughput denominator for the *next* [`Harness::bench`]
@@ -165,9 +184,21 @@ impl Harness {
         let path = dir.join(format!("bench_{}.json", self.group));
         let mut out = String::from("{\n");
         out.push_str(&format!(
-            "  \"group\": {:?},\n  \"smoke\": {},\n  \"benches\": [\n",
+            "  \"group\": {:?},\n  \"smoke\": {},\n",
             self.group, self.smoke
         ));
+        if !self.notes.is_empty() {
+            out.push_str("  \"notes\": {");
+            for (i, (k, v)) in self.notes.iter().enumerate() {
+                out.push_str(&format!(
+                    "{}{:?}: {v}",
+                    if i == 0 { "" } else { ", " },
+                    k
+                ));
+            }
+            out.push_str("},\n");
+        }
+        out.push_str("  \"benches\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             let (tp_kind, tp_val) = match r.throughput {
                 Some(Throughput::Bytes(n)) => ("bytes", n),
@@ -253,6 +284,7 @@ mod tests {
             write_json: false,
             throughput: None,
             records: Vec::new(),
+            notes: Vec::new(),
         };
         h.throughput(Throughput::Elements(100));
         let mut acc = 0u64;

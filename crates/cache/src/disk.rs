@@ -30,7 +30,7 @@
 //! mid-eviction leaves a store that the next scan handles fine.
 
 use crate::sha256::{self, Digest};
-use crate::CacheError;
+use crate::{Blob, CacheError};
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
@@ -110,7 +110,7 @@ impl DiskStore {
     /// [`CacheError::Corrupt`] when the entry fails verification (it has
     /// already been quarantined); [`CacheError::Io`] for transport-level
     /// failures. A missing entry is `Ok(None)`, not an error.
-    pub fn get(&self, key: &Digest) -> Result<Option<Vec<u8>>, CacheError> {
+    pub fn get(&self, key: &Digest) -> Result<Option<Blob>, CacheError> {
         let path = self.object_path(key);
         let raw = match fs::read(&path) {
             Ok(raw) => raw,
@@ -118,10 +118,12 @@ impl DiskStore {
             Err(e) => return Err(CacheError::io("read cache entry", e)),
         };
         match decode_entry(&raw) {
-            Ok(payload) => {
+            Ok(()) => {
                 self.touch(&path);
                 self.journal_access(key);
-                Ok(Some(payload))
+                // The verified payload is served as a view into the read
+                // buffer itself — sliced past the header, never copied.
+                Ok(Some(Blob::from_vec(raw).tail(HEADER_LEN)))
             }
             Err(reason) => {
                 let quarantined = self.quarantine(key, &path);
@@ -365,8 +367,10 @@ impl DiskStore {
     }
 }
 
-/// Decode and verify one raw entry file; `Err(reason)` on any mismatch.
-fn decode_entry(raw: &[u8]) -> Result<Vec<u8>, String> {
+/// Verify one raw entry file in place; `Err(reason)` on any mismatch.
+/// Returns `Ok(())` rather than the payload so the caller can serve the
+/// bytes out of the buffer it already owns.
+fn decode_entry(raw: &[u8]) -> Result<(), String> {
     if raw.is_empty() {
         return Err("zero-length entry".into());
     }
@@ -386,7 +390,7 @@ fn decode_entry(raw: &[u8]) -> Result<Vec<u8>, String> {
             sha256::hex(&actual)
         ));
     }
-    Ok(payload.to_vec())
+    Ok(())
 }
 
 /// A best-effort advisory directory lock: an `O_EXCL`-created lock file,
@@ -450,7 +454,7 @@ mod tests {
         let key = digest(b"key");
         assert_eq!(store.get(&key).unwrap(), None);
         store.put(&key, b"payload bytes").unwrap();
-        assert_eq!(store.get(&key).unwrap().unwrap(), b"payload bytes");
+        assert_eq!(store.get(&key).unwrap().unwrap()[..], b"payload bytes"[..]);
         // Fan-out layout: objects/ab/<62 hex>.
         let hex = sha256::hex(&key);
         assert!(root.join("objects").join(&hex[..2]).join(&hex[2..]).exists());
@@ -486,7 +490,7 @@ mod tests {
         // The store stays serviceable: a re-put re-publishes cleanly.
         assert_eq!(store.get(&key).unwrap(), None);
         store.put(&key, b"good bytes").unwrap();
-        assert_eq!(store.get(&key).unwrap().unwrap(), b"good bytes");
+        assert_eq!(store.get(&key).unwrap().unwrap()[..], b"good bytes"[..]);
         fs::remove_dir_all(&root).ok();
     }
 

@@ -3,10 +3,10 @@
 //! The rewrite pipeline is deterministic (byte-identical output for a
 //! given input since PR 1, enforced across `--jobs` since PR 4), which
 //! makes finished rewrites safely addressable by a digest of their
-//! inputs: `(input ELF bytes, canonical-JSON patch batch, RewriteConfig,
-//! protocol/format version)`. This crate provides the storage half of
-//! that bargain — the key derivation lives in `e9proto::cachekey`, next
-//! to the canonical JSON codec it reuses.
+//! inputs: `(input ELF bytes, patch batch, RewriteConfig, protocol/format
+//! version)`. This crate provides the storage half of that bargain — the
+//! key derivation lives in `e9proto::cachekey`, next to the wire codec it
+//! reuses.
 //!
 //! Two tiers, checked in order:
 //!
@@ -20,18 +20,43 @@
 //! counted and treated as a miss so the caller falls back to a cold
 //! rewrite — they never panic and never serve wrong bytes.
 //!
-//! Entries are either positive (the canonical-JSON emit reply bytes) or
-//! *negative*: a request that deterministically fails keeps failing, so
-//! the original typed error is cached and replayed without re-running
-//! the rewriter.
+//! Entries are either positive (encoded emit-reply bytes) or *negative*:
+//! a request that deterministically fails keeps failing, so the original
+//! typed error is cached and replayed without re-running the rewriter.
+//!
+//! # The warm path is copy-free
+//!
+//! A warm hit is only worth taking when `lookup` is strictly cheaper than
+//! recomputing, so payload bytes are never copied on the read path: both
+//! tiers traffic in [`Blob`] — a reference-counted buffer plus a range —
+//! and a hit hands the caller a view into the very allocation the entry
+//! already lives in (the LRU's buffer, or the single `fs::read` buffer a
+//! disk promotion produced). `tests/alloc.rs` pins this with a counting
+//! allocator.
+//!
+//! # Bypass: tiny rewrites skip the cache
+//!
+//! For small inputs recomputing the rewrite is provably cheaper than
+//! keying it (hash + lookup + decode), so [`Cache::should_bypass`]
+//! implements a size threshold below which callers skip the cache
+//! entirely — no key is derived, nothing is stored, not even negative
+//! entries. The base threshold defaults to [`DEFAULT_BYPASS_BYTES`]
+//! (measured break-even on the bench ladder, see
+//! `results/bench_cache.json`) and adapts to the observed hit rate: a
+//! cache that is mostly missing pushes the threshold up (stay out of the
+//! way), one that is mostly hitting pulls it down (engage smaller
+//! inputs). Decisions are counted in [`CacheStats::bypasses`] and the
+//! effective threshold is reported as [`CacheStats::bypass_threshold`].
 
 pub mod disk;
 pub mod mem;
 pub mod sha256;
+pub mod tree;
 
 pub use sha256::{digest, Digest, Sha256};
 
 use std::fmt;
+use std::ops::Deref;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -39,10 +64,24 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// Version of the entry payload encoding *and* of the key derivation —
 /// bumped together whenever either changes, so stale stores can never be
 /// misread (a bump changes every key; old objects simply age out).
-pub const FORMAT_VERSION: u64 = 1;
+///
+/// v2: positive payloads switched from canonical-JSON emit replies to the
+/// compact binary codec (`EmitReply::encode_bin`), and the key's batch
+/// part from canonical JSON to the same binary framing.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// Default in-memory tier budget (64 MiB).
 pub const DEFAULT_MEM_BYTES: usize = 64 << 20;
+
+/// Default bypass threshold: inputs smaller than this skip the cache.
+/// Derived from the measured break-even on the bench size ladder (a warm
+/// hit pays ~1 GiB/s hashing plus a lookup; a tiny rewrite recomputes in
+/// tens of microseconds, which at 128 KiB is the cheaper side).
+pub const DEFAULT_BYPASS_BYTES: u64 = 128 << 10;
+
+/// Decided lookups (hits + misses) required before the adaptive rule
+/// trusts the observed hit rate enough to move the threshold.
+const BYPASS_ADAPT_MIN_DECIDED: u64 = 32;
 
 /// A typed cache failure. The cache is an accelerator, so callers treat
 /// every variant as "fall back to a cold rewrite" — but the variants are
@@ -102,10 +141,93 @@ impl std::error::Error for CacheError {
     }
 }
 
-/// A decoded cache entry.
+/// A shared, immutable byte range: a reference-counted backing buffer
+/// plus `[start, end)`. Cloning or re-slicing is O(1) and never copies
+/// the payload, which is what keeps the warm hit path allocation-free —
+/// the disk tier hands out a `Blob` over its single `fs::read` buffer,
+/// and the memory tier shares that same buffer across every future hit.
+///
+/// (Deliberately backed by `Arc<Vec<u8>>` rather than `Arc<[u8]>`:
+/// converting a `Vec` into an `Arc<[u8]>` *copies* the bytes to inline
+/// them next to the refcounts, exactly the reallocation this type
+/// exists to avoid.)
+#[derive(Clone)]
+pub struct Blob {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Blob {
+    /// Take ownership of `data` (no copy) as a full-range blob.
+    pub fn from_vec(data: Vec<u8>) -> Blob {
+        let end = data.len();
+        Blob {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
+    }
+
+    /// A sub-range of this blob (relative to it); panics if out of range.
+    pub fn slice(&self, start: usize, end: usize) -> Blob {
+        assert!(start <= end && self.start + end <= self.end);
+        Blob {
+            data: Arc::clone(&self.data),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+
+    /// Everything from `offset` (relative) to the end.
+    pub fn tail(&self, offset: usize) -> Blob {
+        self.slice(offset, self.len())
+    }
+
+    /// Bytes in the visible range.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the visible range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl Deref for Blob {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Blob {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl fmt::Debug for Blob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Blob({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for Blob {
+    fn eq(&self, other: &Blob) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Blob {}
+
+/// A decoded cache entry, as written: owned payload bytes. This is the
+/// *store*-side type; the read path returns [`Hit`] so positive payloads
+/// stay inside their original allocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Entry {
-    /// A finished rewrite: canonical-JSON emit-reply bytes.
+    /// A finished rewrite: encoded emit-reply bytes.
     Ok(Vec<u8>),
     /// A deterministic failure: the typed error the rewrite produced,
     /// replayed on every hit so known-bad requests short-circuit.
@@ -138,7 +260,9 @@ impl Entry {
     }
 
     /// Inverse of [`encode`](Entry::encode); `None` on any malformed
-    /// payload (the caller treats that as a corrupt entry).
+    /// payload (the caller treats that as a corrupt entry). Copies the
+    /// payload — hot-path readers use [`Cache::lookup`]'s [`Hit`]
+    /// instead.
     pub fn decode(raw: &[u8]) -> Option<Entry> {
         match raw.split_first()? {
             (b'P', rest) => Some(Entry::Ok(rest.to_vec())),
@@ -152,6 +276,43 @@ impl Entry {
     }
 }
 
+/// The read-path view of a cache hit. A positive hit is a zero-copy
+/// [`Blob`] over the stored payload (tag byte already stripped); a
+/// negative hit decodes the (small) replayed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hit {
+    /// A finished rewrite's encoded emit-reply bytes, in place.
+    Payload(Blob),
+    /// A replayed deterministic failure.
+    Negative { code: i64, message: String },
+}
+
+impl Hit {
+    /// Decode the tagged payload `blob` without copying positive bytes.
+    fn decode(blob: &Blob) -> Option<Hit> {
+        match blob.first()? {
+            b'P' => Some(Hit::Payload(blob.tail(1))),
+            b'N' if blob.len() >= 9 => {
+                let code = i64::from_le_bytes(blob[1..9].try_into().ok()?);
+                let message = std::str::from_utf8(&blob[9..]).ok()?.to_string();
+                Some(Hit::Negative { code, message })
+            }
+            _ => None,
+        }
+    }
+
+    /// Copy out into an owned [`Entry`] (tests, fault campaigns).
+    pub fn to_entry(&self) -> Entry {
+        match self {
+            Hit::Payload(blob) => Entry::Ok(blob.to_vec()),
+            Hit::Negative { code, message } => Entry::Negative {
+                code: *code,
+                message: message.clone(),
+            },
+        }
+    }
+}
+
 /// How to build a [`Cache`].
 #[derive(Debug, Clone, Default)]
 pub struct CacheConfig {
@@ -161,6 +322,11 @@ pub struct CacheConfig {
     pub mem_bytes: Option<usize>,
     /// Disk-tier byte budget; `None` = unbounded.
     pub disk_bytes: Option<u64>,
+    /// Base bypass threshold in input bytes; `None` =
+    /// [`DEFAULT_BYPASS_BYTES`], `Some(0)` disables bypassing (every
+    /// input engages the cache — tests and benchmarks of the engaged
+    /// path use this).
+    pub bypass_bytes: Option<u64>,
 }
 
 /// A point-in-time snapshot of the cache counters.
@@ -180,18 +346,26 @@ pub struct CacheStats {
     pub errors: u64,
     pub mem_entries: u64,
     pub mem_bytes: u64,
+    /// Requests that skipped the cache because the input was below the
+    /// bypass threshold.
+    pub bypasses: u64,
+    /// The effective (hit-rate-adapted) bypass threshold at snapshot
+    /// time, in input bytes; 0 means bypassing is disabled.
+    pub bypass_threshold: u64,
 }
 
 impl CacheStats {
     /// One-line human summary, in the `PatchStats::summary` style.
     pub fn summary(&self) -> String {
         format!(
-            "cache: {} hits ({} mem, {} disk, {} negative), {} misses, {} stores, {} evictions ({} mem, {} disk), {} verify failures, {} errors",
+            "cache: {} hits ({} mem, {} disk, {} negative), {} misses, {} bypasses (threshold {} B), {} stores, {} evictions ({} mem, {} disk), {} verify failures, {} errors",
             self.hits,
             self.mem_hits,
             self.disk_hits,
             self.negative_hits,
             self.misses,
+            self.bypasses,
+            self.bypass_threshold,
             self.stores,
             self.mem_evictions + self.disk_evictions,
             self.mem_evictions,
@@ -213,6 +387,7 @@ struct Counters {
     disk_evictions: AtomicU64,
     verify_failures: AtomicU64,
     errors: AtomicU64,
+    bypasses: AtomicU64,
 }
 
 fn tick(c: &AtomicU64) {
@@ -226,6 +401,8 @@ pub struct Cache {
     mem: Mutex<mem::MemLru>,
     disk: Option<disk::DiskStore>,
     counters: Counters,
+    /// Base bypass threshold (0 = bypassing disabled).
+    bypass_base: u64,
 }
 
 impl Cache {
@@ -245,13 +422,24 @@ impl Cache {
             )),
             disk,
             counters: Counters::default(),
+            bypass_base: config.bypass_bytes.unwrap_or(DEFAULT_BYPASS_BYTES),
         })
     }
 
-    /// A memory-only cache with the default budget (tests, `--cache-dir`
-    /// omitted on the daemon).
+    /// A memory-only cache with the default budget and bypass threshold
+    /// (`--cache-dir` omitted on the daemon).
     pub fn in_memory() -> Cache {
         Cache::open(&CacheConfig::default()).expect("memory-only cache cannot fail")
+    }
+
+    /// A memory-only cache with bypassing disabled — tests and benches
+    /// that drive tiny synthetic inputs through the engaged path.
+    pub fn in_memory_no_bypass() -> Cache {
+        Cache::open(&CacheConfig {
+            bypass_bytes: Some(0),
+            ..CacheConfig::default()
+        })
+        .expect("memory-only cache cannot fail")
     }
 
     /// The cache must stay serviceable even if a connection thread
@@ -261,12 +449,51 @@ impl Cache {
         self.mem.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
+    /// Should a request over `input_len` bytes skip the cache entirely?
+    ///
+    /// Below the effective threshold recomputing is cheaper than keying,
+    /// so the caller runs cold without deriving a key or storing anything
+    /// (including negative entries). A `true` answer is counted.
+    pub fn should_bypass(&self, input_len: u64) -> bool {
+        let bypass = input_len < self.bypass_threshold();
+        if bypass {
+            tick(&self.counters.bypasses);
+        }
+        bypass
+    }
+
+    /// The effective bypass threshold: the configured base, scaled by the
+    /// observed hit rate once enough lookups have been decided. A cache
+    /// that is mostly hitting halves the threshold (engaging smaller
+    /// inputs pays); one that is mostly missing quadruples it (keying is
+    /// a pure tax). 0 when bypassing is disabled.
+    pub fn bypass_threshold(&self) -> u64 {
+        let base = self.bypass_base;
+        if base == 0 {
+            return 0;
+        }
+        let hits = self.counters.hits.load(Ordering::Relaxed);
+        let misses = self.counters.misses.load(Ordering::Relaxed);
+        let decided = hits + misses;
+        if decided < BYPASS_ADAPT_MIN_DECIDED {
+            return base;
+        }
+        if hits * 2 >= decided {
+            base / 2 // ≥ 50% hit rate
+        } else if hits * 8 < decided {
+            base * 4 // < 12.5% hit rate
+        } else {
+            base
+        }
+    }
+
     /// Look up `key`, promoting disk hits into the memory tier.
     ///
-    /// Never fails: corrupt entries (already quarantined by the disk
-    /// tier) and I/O errors are counted and reported as a miss so the
-    /// caller runs the rewrite cold.
-    pub fn lookup(&self, key: &Digest) -> Option<Entry> {
+    /// Positive hits are returned as a zero-copy [`Blob`] view of the
+    /// stored payload. Never fails: corrupt entries (already quarantined
+    /// by the disk tier) and I/O errors are counted and reported as a
+    /// miss so the caller runs the rewrite cold.
+    pub fn lookup(&self, key: &Digest) -> Option<Hit> {
         if let Some(payload) = self.mem().get(key) {
             return self.decoded_hit(key, &payload, true);
         }
@@ -276,8 +503,9 @@ impl Cache {
         };
         match disk.get(key) {
             Ok(Some(payload)) => {
-                let payload: Arc<[u8]> = payload.into();
-                self.mem().insert(*key, Arc::clone(&payload));
+                // Promotion shares the read buffer: the LRU clone below
+                // is a refcount bump, not a copy.
+                self.mem().insert(*key, payload.clone());
                 self.decoded_hit(key, &payload, false)
             }
             Ok(None) => {
@@ -297,22 +525,28 @@ impl Cache {
         }
     }
 
+    /// [`lookup`](Cache::lookup), copied out into an owned [`Entry`] —
+    /// for tests and fault campaigns that want value semantics.
+    pub fn lookup_entry(&self, key: &Digest) -> Option<Entry> {
+        self.lookup(key).map(|hit| hit.to_entry())
+    }
+
     /// Decode a checksum-verified payload; an undecodable one (possible
     /// only if encoder and decoder disagree) is purged from memory and
     /// counted as an error-miss so the caller recomputes cold.
-    fn decoded_hit(&self, key: &Digest, payload: &Arc<[u8]>, from_mem: bool) -> Option<Entry> {
-        match Entry::decode(payload) {
-            Some(entry) => {
+    fn decoded_hit(&self, key: &Digest, payload: &Blob, from_mem: bool) -> Option<Hit> {
+        match Hit::decode(payload) {
+            Some(hit) => {
                 tick(&self.counters.hits);
                 if from_mem {
                     tick(&self.counters.mem_hits);
                 } else {
                     tick(&self.counters.disk_hits);
                 }
-                if matches!(entry, Entry::Negative { .. }) {
+                if matches!(hit, Hit::Negative { .. }) {
                     tick(&self.counters.negative_hits);
                 }
-                Some(entry)
+                Some(hit)
             }
             None => {
                 self.mem().remove(key);
@@ -327,8 +561,8 @@ impl Cache {
     /// counted, not propagated — a cache store must never fail a rewrite
     /// that already succeeded.
     pub fn put(&self, key: &Digest, entry: &Entry) {
-        let payload: Arc<[u8]> = entry.encode().into();
-        self.mem().insert(*key, Arc::clone(&payload));
+        let payload = Blob::from_vec(entry.encode());
+        self.mem().insert(*key, payload.clone());
         tick(&self.counters.stores);
         if let Some(disk) = &self.disk {
             match disk.put(key, &payload) {
@@ -379,6 +613,8 @@ impl Cache {
             errors: c.errors.load(Ordering::Relaxed),
             mem_entries,
             mem_bytes,
+            bypasses: c.bypasses.load(Ordering::Relaxed),
+            bypass_threshold: self.bypass_threshold(),
         }
     }
 }
@@ -408,12 +644,26 @@ mod tests {
     }
 
     #[test]
+    fn blob_slicing_is_views_not_copies() {
+        let blob = Blob::from_vec(b"0123456789".to_vec());
+        let mid = blob.slice(2, 7);
+        assert_eq!(&mid[..], b"23456");
+        assert_eq!(&mid.tail(3)[..], b"56");
+        assert_eq!(mid.len(), 5);
+        // The backing Arc is shared, not duplicated.
+        assert!(Arc::ptr_eq(&blob.data, &mid.data));
+    }
+
+    #[test]
     fn memory_only_lookup_put_cycle() {
         let cache = Cache::in_memory();
         let key = digest(b"job");
         assert_eq!(cache.lookup(&key), None);
         cache.put(&key, &Entry::Ok(b"artifact".to_vec()));
-        assert_eq!(cache.lookup(&key), Some(Entry::Ok(b"artifact".to_vec())));
+        match cache.lookup(&key) {
+            Some(Hit::Payload(blob)) => assert_eq!(&blob[..], b"artifact"),
+            other => panic!("expected payload hit, got {other:?}"),
+        }
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.mem_hits, 1);
@@ -434,9 +684,9 @@ mod tests {
         cache.put(&key, &Entry::Ok(b"artifact".to_vec()));
         cache.mem().clear();
         // Disk hit, promoted back into memory.
-        assert_eq!(cache.lookup(&key), Some(Entry::Ok(b"artifact".to_vec())));
+        assert_eq!(cache.lookup_entry(&key), Some(Entry::Ok(b"artifact".to_vec())));
         assert_eq!(cache.stats().disk_hits, 1);
-        assert_eq!(cache.lookup(&key), Some(Entry::Ok(b"artifact".to_vec())));
+        assert_eq!(cache.lookup_entry(&key), Some(Entry::Ok(b"artifact".to_vec())));
         assert_eq!(cache.stats().mem_hits, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -465,7 +715,7 @@ mod tests {
         // Serviceable afterwards: re-put and hit.
         cache.put(&key, &Entry::Ok(b"artifact".to_vec()));
         cache.mem().clear();
-        assert_eq!(cache.lookup(&key), Some(Entry::Ok(b"artifact".to_vec())));
+        assert_eq!(cache.lookup_entry(&key), Some(Entry::Ok(b"artifact".to_vec())));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -481,7 +731,7 @@ mod tests {
             },
         );
         match cache.lookup(&key) {
-            Some(Entry::Negative { code, message }) => {
+            Some(Hit::Negative { code, message }) => {
                 assert_eq!(code, -2);
                 assert_eq!(message, "mapping conflict");
             }
@@ -507,6 +757,47 @@ mod tests {
     }
 
     #[test]
+    fn bypass_threshold_defaults_and_disables() {
+        let cache = Cache::in_memory();
+        assert_eq!(cache.bypass_threshold(), DEFAULT_BYPASS_BYTES);
+        assert!(cache.should_bypass(DEFAULT_BYPASS_BYTES - 1));
+        assert!(!cache.should_bypass(DEFAULT_BYPASS_BYTES));
+        assert_eq!(cache.stats().bypasses, 1);
+
+        let off = Cache::in_memory_no_bypass();
+        assert_eq!(off.bypass_threshold(), 0);
+        assert!(!off.should_bypass(0));
+        assert!(!off.should_bypass(1));
+        assert_eq!(off.stats().bypasses, 0);
+    }
+
+    #[test]
+    fn bypass_threshold_adapts_to_hit_rate() {
+        // Mostly hitting: threshold halves once enough lookups decided.
+        let hot = Cache::in_memory();
+        let key = digest(b"hot");
+        hot.put(&key, &Entry::Ok(vec![1]));
+        for _ in 0..BYPASS_ADAPT_MIN_DECIDED {
+            assert!(hot.lookup(&key).is_some());
+        }
+        assert_eq!(hot.bypass_threshold(), DEFAULT_BYPASS_BYTES / 2);
+
+        // Mostly missing: threshold quadruples.
+        let cold = Cache::in_memory();
+        for i in 0..BYPASS_ADAPT_MIN_DECIDED {
+            assert!(cold.lookup(&digest(&i.to_le_bytes())).is_none());
+        }
+        assert_eq!(cold.bypass_threshold(), DEFAULT_BYPASS_BYTES * 4);
+
+        // Disabled stays disabled regardless of traffic.
+        let off = Cache::in_memory_no_bypass();
+        for i in 0..BYPASS_ADAPT_MIN_DECIDED {
+            assert!(off.lookup(&digest(&i.to_le_bytes())).is_none());
+        }
+        assert_eq!(off.bypass_threshold(), 0);
+    }
+
+    #[test]
     fn stats_summary_mentions_every_counter_family() {
         let s = CacheStats {
             hits: 3,
@@ -515,7 +806,7 @@ mod tests {
             ..CacheStats::default()
         }
         .summary();
-        for needle in ["hits", "misses", "stores", "evictions", "verify failures"] {
+        for needle in ["hits", "misses", "bypasses", "stores", "evictions", "verify failures"] {
             assert!(s.contains(needle), "summary missing {needle}: {s}");
         }
     }

@@ -3,13 +3,14 @@
 //! One instance is shared (behind the [`crate::Cache`] interior lock) by
 //! every `e9patchd` connection thread, so a fleet of clients requesting
 //! the same rewrite hits memory after the first emit — no disk read, no
-//! re-verification. Values are stored as `Arc<[u8]>` so a hit hands the
-//! caller a reference without copying the (potentially multi-megabyte)
-//! payload under the lock.
+//! re-verification. Values are stored as [`Blob`]s so a hit hands the
+//! caller a shared view without copying the (potentially multi-megabyte)
+//! payload under the lock — and a disk promotion inserts the very read
+//! buffer the payload arrived in, not a duplicate.
 
 use crate::sha256::Digest;
+use crate::Blob;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
 
 /// Bytes-capped LRU map from digest to payload.
 ///
@@ -18,7 +19,7 @@ use std::sync::Arc;
 /// the entry to the newest sequence, and eviction pops from the oldest.
 #[derive(Debug, Default)]
 pub struct MemLru {
-    entries: HashMap<Digest, (u64, Arc<[u8]>)>,
+    entries: HashMap<Digest, (u64, Blob)>,
     by_seq: BTreeMap<u64, Digest>,
     next_seq: u64,
     bytes: usize,
@@ -57,20 +58,20 @@ impl MemLru {
     }
 
     /// Look `key` up, bumping it to most-recently-used on a hit.
-    pub fn get(&mut self, key: &Digest) -> Option<Arc<[u8]>> {
+    pub fn get(&mut self, key: &Digest) -> Option<Blob> {
         let (seq, payload) = self.entries.get(key)?;
-        let (old_seq, payload) = (*seq, Arc::clone(payload));
+        let (old_seq, payload) = (*seq, payload.clone());
         self.by_seq.remove(&old_seq);
         let seq = self.bump();
         self.by_seq.insert(seq, *key);
-        self.entries.insert(*key, (seq, Arc::clone(&payload)));
+        self.entries.insert(*key, (seq, payload.clone()));
         Some(payload)
     }
 
     /// Insert (or refresh) `key`, evicting least-recently-used entries
     /// until the tier fits its byte budget. Payloads larger than the
     /// whole budget are not admitted at all.
-    pub fn insert(&mut self, key: Digest, payload: Arc<[u8]>) {
+    pub fn insert(&mut self, key: Digest, payload: Blob) {
         if payload.len() > self.cap {
             return;
         }
@@ -126,8 +127,8 @@ mod tests {
         digest(&[n])
     }
 
-    fn val(len: usize, fill: u8) -> Arc<[u8]> {
-        vec![fill; len].into()
+    fn val(len: usize, fill: u8) -> Blob {
+        Blob::from_vec(vec![fill; len])
     }
 
     #[test]

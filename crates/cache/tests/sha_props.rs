@@ -3,8 +3,14 @@
 //! digest), and the hex codec must round-trip. Together with the NIST
 //! FIPS 180-4 vectors pinned as unit tests, this fixes the hash — and
 //! therefore every cache key — against accidental drift.
+//!
+//! The tree-digest properties pin the keying contract on top: below the
+//! 1 MiB chunk the tree digest IS the one-shot digest (so small keys are
+//! free), and above it the result is invariant in the worker count (so
+//! `--jobs` can never split the cache).
 
 use e9cache::sha256::{self, Sha256};
+use e9cache::tree::{self, tree_digest};
 use e9qcheck::prelude::*;
 
 props! {
@@ -58,5 +64,38 @@ props! {
         let text = sha256::hex(&d);
         prop_assert_eq!(text.len(), 64);
         prop_assert_eq!(sha256::from_hex(&text), Some(d));
+    }
+
+    #[test]
+    fn tree_digest_of_small_input_is_the_one_shot_digest(
+        data in vec(any::<u8>(), 0..4096),
+        jobs in any::<u8>(),
+    ) {
+        // Below the chunk size the tree construction must degenerate to
+        // the plain digest, for every worker count.
+        prop_assert_eq!(tree_digest(&data, jobs as usize), sha256::digest(&data));
+    }
+
+    #[test]
+    fn tree_digest_is_jobs_invariant_above_the_chunk(
+        seed in any::<u64>(),
+        extra in 0usize..2048,
+        jobs_a in 1usize..9,
+        jobs_b in 1usize..9,
+    ) {
+        // A cheap deterministic filler: real multi-chunk data without
+        // drawing megabytes from the generator. Kept just past the chunk
+        // boundary (2 leaves) so the whole property suite stays fast;
+        // the 3-chunk shape is pinned by a unit test in `tree.rs`.
+        let len = tree::CHUNK + extra + 1;
+        let mut state = seed | 1;
+        let mut data = vec![0u8; len];
+        for chunk in data.chunks_mut(8) {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            chunk.copy_from_slice(&state.to_le_bytes()[..chunk.len()]);
+        }
+        prop_assert_eq!(tree_digest(&data, jobs_a), tree_digest(&data, jobs_b));
+        // And the tree really is a different domain from the flat hash.
+        prop_assert_ne!(tree_digest(&data, jobs_a), sha256::digest(&data));
     }
 }

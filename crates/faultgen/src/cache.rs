@@ -145,7 +145,7 @@ fn cache_case_inner(rng: &mut StdRng, root: &Path) -> Outcome {
     for (key, entry) in &entries {
         match store.get(key) {
             Ok(Some(payload)) => {
-                if payload != entry.encode() {
+                if payload[..] != entry.encode()[..] {
                     return Outcome::Panicked; // digest check failed us: wrong bytes served
                 }
             }
@@ -174,7 +174,7 @@ fn cache_case_inner(rng: &mut StdRng, root: &Path) -> Outcome {
     })
     .expect("probe: cache must reopen after damage");
     for (key, entry) in &entries {
-        match cache.lookup(key) {
+        match cache.lookup_entry(key) {
             Some(found) => {
                 if found != *entry {
                     return Outcome::Panicked;
@@ -183,7 +183,7 @@ fn cache_case_inner(rng: &mut StdRng, root: &Path) -> Outcome {
             None => {
                 // Cold-path fallback: recompute (simulated) and store.
                 cache.put(key, entry);
-                if cache.lookup(key).as_ref() != Some(entry) {
+                if cache.lookup_entry(key).as_ref() != Some(entry) {
                     return Outcome::Panicked; // store died: not serviceable
                 }
             }
@@ -191,7 +191,7 @@ fn cache_case_inner(rng: &mut StdRng, root: &Path) -> Outcome {
     }
     let probe_key = digest(b"post-damage probe");
     cache.put(&probe_key, &Entry::Ok(b"probe".to_vec()));
-    if !matches!(cache.lookup(&probe_key), Some(Entry::Ok(p)) if p == b"probe") {
+    if !matches!(cache.lookup_entry(&probe_key), Some(Entry::Ok(p)) if p == b"probe") {
         return Outcome::Panicked;
     }
 

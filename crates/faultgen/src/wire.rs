@@ -49,7 +49,7 @@ pub fn baseline_script_with_jobs(jobs: Option<usize>) -> Vec<u8> {
             &mut out,
         );
     }
-    push(Command::Binary { bytes: bin }, &mut out);
+    push(Command::Binary { bytes: bin, digest: None }, &mut out);
     for i in &disasm {
         push(
             Command::Instruction {

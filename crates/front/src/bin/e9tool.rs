@@ -24,7 +24,7 @@ USAGE:
   e9tool patch BINARY -o OUT [--app a1|a2|a3|all] [--payload empty|counter|counters|lowfat|trace]
               [--no-t1] [--no-t2] [--no-t3] [--b0] [--granularity M] [--no-grouping]
               [--jobs N] [--report] [--verify] [--backend stdio|/path/to.sock]
-              [--cache-dir DIR | --no-cache]
+              [--cache-dir DIR | --no-cache] [--cache-bypass-bytes N]
   e9tool run  BINARY [--lowfat] [--max-steps N] [--hex-output]
 
 `gen --profile` accepts any Table 1 row name (perlbench, gcc, chrome, ...).
@@ -34,7 +34,10 @@ wire protocol instead of in-process: `stdio` spawns a daemon child
 daemon's Unix socket. Output is byte-identical to the in-process path.
 `patch --cache-dir DIR` reuses finished rewrites from a content-addressed
 cache at DIR ($E9CACHE_DIR provides a default; --no-cache disables both).
-A hit is byte-identical to a cold rewrite."
+A hit is byte-identical to a cold rewrite. Inputs below the bypass
+threshold (--cache-bypass-bytes N or $E9CACHE_BYPASS_BYTES, default
+131072; 0 caches every size) skip the cache entirely — for tiny binaries
+the rewrite is cheaper than keying it."
     );
     ExitCode::from(2)
 }
@@ -56,6 +59,7 @@ impl Args {
                     name,
                     "tiny" | "profile" | "scale" | "app" | "payload" | "granularity"
                         | "jobs" | "max-steps" | "limit" | "backend" | "cache-dir"
+                        | "cache-bypass-bytes"
                 );
                 if takes_value && i + 1 < argv.len() {
                     flags.insert(name.to_string(), argv[i + 1].clone());
@@ -280,6 +284,26 @@ fn resolve_cache_dir_from(
     Ok(env_dir.map(std::path::PathBuf::from))
 }
 
+/// Resolve the cache bypass threshold: `--cache-bypass-bytes N` wins,
+/// else `$E9CACHE_BYPASS_BYTES`, else the library default (128 KiB).
+/// `0` disables the bypass (every size is cached). A modifier only — it
+/// never enables the cache by itself.
+fn resolve_bypass_bytes(args: &Args) -> Result<Option<u64>, String> {
+    if let Some(v) = args.value("cache-bypass-bytes") {
+        return v
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| "bad --cache-bypass-bytes (want a byte count)".into());
+    }
+    match std::env::var("E9CACHE_BYPASS_BYTES") {
+        Ok(v) => v
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("bad E9CACHE_BYPASS_BYTES {v:?} (want a byte count)")),
+        Err(_) => Ok(None),
+    }
+}
+
 /// Open the protocol backend named by `--backend`: `stdio` spawns the
 /// default daemon as a child; anything else is a Unix socket path.
 fn backend_client(spec: &str) -> Result<e9proto::ProtoClient, String> {
@@ -313,8 +337,10 @@ fn cmd_patch(args: &Args) -> Result<(), String> {
         "backend",
         "cache-dir",
         "no-cache",
+        "cache-bypass-bytes",
     ])?;
     let cache_dir = resolve_cache_dir(args)?;
+    let bypass_bytes = resolve_bypass_bytes(args)?;
     let path = args.positional.first().ok_or("patch requires BINARY")?;
     let out_path = args.value("out").ok_or("patch requires -o OUT")?;
     let bytes = read_input(path)?;
@@ -367,6 +393,7 @@ fn cmd_patch(args: &Args) -> Result<(), String> {
             Some(dir) => {
                 let cache = e9cache::Cache::open(&e9cache::CacheConfig {
                     dir: Some(dir.clone()),
+                    bypass_bytes,
                     ..e9cache::CacheConfig::default()
                 })
                 .map_err(|e| format!("cannot open cache {}: {e}", dir.display()))?;
@@ -385,9 +412,13 @@ fn cmd_patch(args: &Args) -> Result<(), String> {
         }
     };
     if let Some(c) = &res.cache {
+        let digest = c.digest.as_deref().unwrap_or("");
         match c.disposition {
-            e9proto::CacheDisposition::Hit => println!("cache: hit {}", c.digest),
-            _ => println!("cache: miss — stored {}", c.digest),
+            e9proto::CacheDisposition::Hit => println!("cache: hit {digest}"),
+            e9proto::CacheDisposition::Bypass => {
+                println!("cache: bypass (input below threshold, not keyed)");
+            }
+            _ => println!("cache: miss — stored {digest}"),
         }
     }
     if let Some(summary) = cache_summary {

@@ -460,7 +460,11 @@ pub fn instrument_via_backend(
         client.option("jobs", &n.to_string())?;
     }
 
-    client.binary(binary)?;
+    // Digest-once: hash the input here (with the planner's worker count),
+    // send it alongside the bytes, and the server verifies it at intake
+    // instead of re-hashing at every emit.
+    let bin_digest = e9cache::tree::tree_digest(binary, cfg.jobs.unwrap_or(1));
+    client.binary_with_digest(binary, &bin_digest)?;
     for seg in &p.extra {
         client.reserve(seg)?;
     }
@@ -533,11 +537,12 @@ fn reply_from_output(out: &RewriteOutput) -> e9proto::EmitReply {
 /// How the cache participated in an instrumentation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheOutcome {
-    /// Hit or miss (never `Off` — absence is modelled by
+    /// Hit, miss or bypass (never `Off` — absence is modelled by
     /// `Instrumented::cache == None`).
     pub disposition: e9proto::CacheDisposition,
-    /// Hex cache key of the job.
-    pub digest: String,
+    /// Hex cache key of the job. `None` for bypassed runs, which are
+    /// never keyed (keying is the cost the bypass avoids).
+    pub digest: Option<String>,
 }
 
 impl CacheOutcome {
@@ -546,7 +551,7 @@ impl CacheOutcome {
             e9proto::CacheDisposition::Off => None,
             d => Some(CacheOutcome {
                 disposition: d,
-                digest: reply.digest.clone().unwrap_or_default(),
+                digest: reply.digest.clone(),
             }),
         }
     }
@@ -572,16 +577,42 @@ pub fn instrument_cached(
     cache: &e9cache::Cache,
 ) -> Result<Instrumented, FrontError> {
     let p = plan(binary, disasm, opts)?;
-    let key = e9proto::cachekey::rewrite_key(binary, disasm, &p.extra, &p.requests, &opts.config);
-    let digest = e9cache::sha256::hex(&key);
+    if cache.should_bypass(binary.len() as u64) {
+        // Below the break-even size the rewrite is cheaper than keying
+        // it: run cold, report the bypass, store nothing (failures
+        // included — a negative entry would pay the keying cost too).
+        let rewrite = Rewriter::new(opts.config)
+            .rewrite(binary, disasm, &p.requests, &p.extra)
+            .map_err(FrontError::Rewrite)?;
+        return Ok(Instrumented {
+            rewrite,
+            sites: p.sites.len(),
+            violations_addr: p.violations_addr,
+            counter_addr: p.counter_addr,
+            trace_addr: p.trace_addr,
+            cache: Some(CacheOutcome {
+                disposition: e9proto::CacheDisposition::Bypass,
+                digest: None,
+            }),
+        });
+    }
+    // Hash the input exactly once (shard-parallel under --jobs; the tree
+    // digest is jobs-invariant so the key is too).
+    let bin_digest = e9cache::tree::tree_digest(binary, opts.config.jobs.unwrap_or(1));
+    let key = e9proto::cachekey::rewrite_key_from_digest(
+        &bin_digest,
+        disasm,
+        &p.extra,
+        &p.requests,
+        &opts.config,
+    );
+    let digest = Some(e9cache::sha256::hex(&key));
     match cache.lookup(&key) {
-        Some(e9cache::Entry::Ok(payload)) => {
-            // Stored payload is the canonical-JSON emit reply of the cold
-            // run; an undecodable one falls through to a cold rewrite.
-            if let Some(reply) = e9proto::json::parse(&payload)
-                .ok()
-                .and_then(|v| e9proto::EmitReply::from_json(&v).ok())
-            {
+        Some(e9cache::Hit::Payload(blob)) => {
+            // Stored payload is the compact binary emit reply of the cold
+            // run, served as a zero-copy view; an undecodable one falls
+            // through to a cold rewrite.
+            if let Ok(reply) = e9proto::EmitReply::decode_bin(&blob) {
                 return Ok(Instrumented {
                     rewrite: output_from_reply(reply),
                     sites: p.sites.len(),
@@ -595,14 +626,14 @@ pub fn instrument_cached(
                 });
             }
         }
-        Some(e9cache::Entry::Negative { code, message }) => {
+        Some(e9cache::Hit::Negative { code, message }) => {
             return Err(FrontError::CachedFailure { code, message });
         }
         None => {}
     }
     match Rewriter::new(opts.config).rewrite(binary, disasm, &p.requests, &p.extra) {
         Ok(rewrite) => {
-            let stored = reply_from_output(&rewrite).to_json().serialize().into_bytes();
+            let stored = reply_from_output(&rewrite).encode_bin();
             cache.put(&key, &e9cache::Entry::Ok(stored));
             Ok(Instrumented {
                 rewrite,
@@ -843,7 +874,9 @@ mod tests {
     fn cached_path_hits_and_matches_cold() {
         let sb = sample();
         let opts = Options::new(Application::A1Jumps, Payload::Counter);
-        let cache = e9cache::Cache::in_memory();
+        // The sample is tiny — disable the size bypass so the cache
+        // mechanics (miss, then hit) are actually exercised.
+        let cache = e9cache::Cache::in_memory_no_bypass();
         let cold = instrument_cached(&sb.binary, &sb.disasm, &opts, &cache).unwrap();
         let cold_outcome = cold.cache.as_ref().expect("cache in play");
         assert_eq!(cold_outcome.disposition, e9proto::CacheDisposition::Miss);

@@ -52,7 +52,10 @@ OPTIONS:
   --cache-dir PATH      enable the rewrite cache with an on-disk tier at PATH
   --cache-mem-bytes N   memory-tier budget in bytes (default 67108864;
                         without --cache-dir, enables memory-only caching)
-  --cache-disk-bytes N  disk-tier budget in bytes (default: unbounded)",
+  --cache-disk-bytes N  disk-tier budget in bytes (default: unbounded)
+  --cache-bypass-bytes N  inputs below N bytes skip the cache entirely
+                        (default 131072; 0 caches every size; modifier
+                        only — does not enable the cache by itself)",
         e9proto::PROTOCOL_VERSION
     );
     ExitCode::from(2)
@@ -122,6 +125,13 @@ fn main() -> ExitCode {
             "--cache-disk-bytes" if i + 1 < argv.len() => {
                 match argv[i + 1].parse::<u64>() {
                     Ok(n) => cache_config.disk_bytes = Some(n),
+                    Err(_) => return usage(),
+                }
+                i += 2;
+            }
+            "--cache-bypass-bytes" if i + 1 < argv.len() => {
+                match argv[i + 1].parse::<u64>() {
+                    Ok(n) => cache_config.bypass_bytes = Some(n),
                     Err(_) => return usage(),
                 }
                 i += 2;

@@ -6,13 +6,22 @@
 //! every `--jobs` value. That makes the output safely addressable by a
 //! digest of those inputs, which is what [`rewrite_key`] computes.
 //!
-//! The batch is hashed through its **canonical wire encoding**: each
-//! logical step (`instruction`, `reserve`, `patch`) is re-expressed as a
-//! [`Command`] and serialized with the canonical JSON codec ([`crate::json`]
-//! emits no whitespace and insertion-ordered keys). Reusing the codec is
-//! the point — `e9tool patch --cache-dir` (in-process) and an `e9patchd`
-//! session (wire) derive byte-identical keys for the same logical job, so
-//! they share cache entries.
+//! The batch is absorbed through a compact tagged binary framing: each
+//! logical step (`instruction`, `reserve`, `patch`) contributes a type
+//! tag, its fixed fields as little-endian words, and its byte payloads
+//! length-prefixed (templates, which are small structured values, go
+//! through the canonical JSON codec). Hashing raw bytes instead of a
+//! hex-doubled JSON batch keeps keying linear in the input with a small
+//! constant — the batch can carry megabytes of instruction and segment
+//! bytes. `e9tool patch --cache-dir` (in-process) and an `e9patchd`
+//! session (wire) still derive byte-identical keys for the same logical
+//! job, so they share cache entries.
+//!
+//! The binary itself enters the key as its [`e9cache::tree`] digest, not
+//! its raw bytes — that is what lets a client hash the input once, send
+//! the digest alongside the `binary` command, and have the server reuse
+//! the verified digest for every subsequent `emit` ([`rewrite_key_from_digest`]).
+//! Since the tree digest is jobs-invariant, the key is too.
 //!
 //! Deliberately **excluded** from the key:
 //!
@@ -70,46 +79,50 @@ pub fn config_json(cfg: &RewriteConfig) -> Json {
     ])
 }
 
-/// The canonical batch encoding: every logical step as its wire command,
-/// in session order (instructions, then reserved segments, then patches
-/// — the order the planner consumes them).
-fn batch_json(insns: &[Insn], extra: &[ExtraSegment], patches: &[PatchRequest]) -> Json {
-    let mut steps = Vec::with_capacity(insns.len() + extra.len() + patches.len());
+/// Absorb the batch in session order (instructions, then reserved
+/// segments, then patches — the order the planner consumes them). Each
+/// section is count-prefixed and each step carries a type tag, so the
+/// framing is injective without any intermediate serialization of the
+/// bulk bytes.
+fn absorb_batch(h: &mut Sha256, insns: &[Insn], extra: &[ExtraSegment], patches: &[PatchRequest]) {
+    h.update(&(insns.len() as u64).to_le_bytes());
     for i in insns {
-        steps.push(
-            Command::Instruction {
-                addr: i.addr,
-                bytes: i.bytes().to_vec(),
-            }
-            .to_json(),
-        );
+        h.update(b"I");
+        h.update(&i.addr.to_le_bytes());
+        part(h, i.bytes());
     }
+    h.update(&(extra.len() as u64).to_le_bytes());
     for e in extra {
-        steps.push(
-            Command::Reserve {
-                vaddr: e.vaddr,
-                bytes: e.bytes.clone(),
-                exec: e.exec,
-                write: e.write,
-            }
-            .to_json(),
-        );
+        h.update(b"R");
+        h.update(&e.vaddr.to_le_bytes());
+        h.update(&[u8::from(e.exec), u8::from(e.write)]);
+        part(h, &e.bytes);
     }
+    h.update(&(patches.len() as u64).to_le_bytes());
     for p in patches {
-        steps.push(
+        h.update(b"P");
+        h.update(&p.addr.to_le_bytes());
+        // Templates are small structured values; the canonical JSON
+        // codec is their one canonical encoding.
+        part(
+            h,
             Command::Patch {
                 addr: p.addr,
                 template: p.template.clone(),
             }
-            .to_json(),
+            .to_json()
+            .serialize()
+            .as_bytes(),
         );
     }
-    Json::Arr(steps)
 }
 
-/// Derive the content-address of a rewrite job.
-pub fn rewrite_key(
-    binary: &[u8],
+/// Derive the content-address of a rewrite job from an already-computed
+/// binary digest. This is the digest-once entry point: the input is
+/// hashed exactly once per session (at `binary` intake or first engaged
+/// `emit`) and every later keying reuses the 32-byte digest.
+pub fn rewrite_key_from_digest(
+    binary_digest: &Digest,
     insns: &[Insn],
     extra: &[ExtraSegment],
     patches: &[PatchRequest],
@@ -119,10 +132,25 @@ pub fn rewrite_key(
     h.update(DOMAIN);
     h.update(&e9cache::FORMAT_VERSION.to_le_bytes());
     h.update(&PROTOCOL_VERSION.to_le_bytes());
-    part(&mut h, binary);
-    part(&mut h, batch_json(insns, extra, patches).serialize().as_bytes());
+    part(&mut h, binary_digest);
+    absorb_batch(&mut h, insns, extra, patches);
     part(&mut h, config_json(cfg).serialize().as_bytes());
     h.finish()
+}
+
+/// Derive the content-address of a rewrite job from the raw input bytes.
+/// Convenience over [`rewrite_key_from_digest`]; hashes the binary
+/// single-threaded — callers that hold a worker count should compute
+/// [`e9cache::tree::tree_digest`] themselves and use the `_from_digest`
+/// form.
+pub fn rewrite_key(
+    binary: &[u8],
+    insns: &[Insn],
+    extra: &[ExtraSegment],
+    patches: &[PatchRequest],
+    cfg: &RewriteConfig,
+) -> Digest {
+    rewrite_key_from_digest(&e9cache::tree::tree_digest(binary, 1), insns, extra, patches, cfg)
 }
 
 #[cfg(test)]
@@ -191,6 +219,23 @@ mod tests {
         let base = rewrite_key(&bin, &insns, &extra, &patches, &cfg);
         cfg.jobs = Some(8);
         assert_eq!(rewrite_key(&bin, &insns, &extra, &patches, &cfg), base);
+    }
+
+    #[test]
+    fn digest_form_matches_raw_form_for_every_jobs() {
+        // The digest-once path must land on the same key as the raw-bytes
+        // convenience, for any worker count used to hash the input —
+        // otherwise a client that pre-hashes with --jobs splits the cache.
+        let (bin, insns, extra, patches) = job();
+        let cfg = RewriteConfig::default();
+        let base = rewrite_key(&bin, &insns, &extra, &patches, &cfg);
+        for jobs in [1, 2, 7, 64] {
+            let d = e9cache::tree::tree_digest(&bin, jobs);
+            assert_eq!(
+                rewrite_key_from_digest(&d, &insns, &extra, &patches, &cfg),
+                base
+            );
+        }
     }
 
     #[test]

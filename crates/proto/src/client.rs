@@ -231,6 +231,28 @@ impl ProtoClient {
     pub fn binary(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
         self.call(Command::Binary {
             bytes: bytes.to_vec(),
+            digest: None,
+        })?;
+        Ok(())
+    }
+
+    /// Send the input binary together with its pre-computed tree digest.
+    /// The server verifies the digest once at intake and reuses it for
+    /// cache keying on every `emit`, so the input is hashed exactly once
+    /// end to end.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtoClient::call`] — a mismatched digest is rejected with
+    /// `INVALID_PARAMS`.
+    pub fn binary_with_digest(
+        &mut self,
+        bytes: &[u8],
+        digest: &e9cache::Digest,
+    ) -> Result<(), ClientError> {
+        self.call(Command::Binary {
+            bytes: bytes.to_vec(),
+            digest: Some(*digest),
         })?;
         Ok(())
     }

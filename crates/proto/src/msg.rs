@@ -102,6 +102,13 @@ pub enum Command {
     Binary {
         /// Raw ELF bytes.
         bytes: Vec<u8>,
+        /// Optional client-computed tree digest of `bytes`
+        /// (`e9cache::tree::tree_digest`). The server *verifies* it once
+        /// at intake — never trusts it blindly (a forged digest would
+        /// poison the shared cache for every other client) — and then
+        /// reuses it for every emit in the session, so the binary is
+        /// hashed exactly once end to end instead of once per request.
+        digest: Option<e9cache::Digest>,
     },
     /// Set one rewriter option (`t1`/`t2`/`t3`/`b0`/`grouping` =
     /// `true|false`, `granularity` = integer ≥ 1, `alloc` = `low|high`).
@@ -214,7 +221,13 @@ impl Command {
     fn params(&self) -> Json {
         match self {
             Command::Version { version } => obj(vec![("version", Json::Int(*version as i128))]),
-            Command::Binary { bytes } => obj(vec![("bytes", Json::Str(hex_encode(bytes)))]),
+            Command::Binary { bytes, digest } => {
+                let mut fields = vec![("bytes", Json::Str(hex_encode(bytes)))];
+                if let Some(d) = digest {
+                    fields.push(("digest", Json::Str(e9cache::sha256::hex(d))));
+                }
+                obj(fields)
+            }
             Command::Option { name, value } => obj(vec![
                 ("name", Json::Str(name.clone())),
                 ("value", Json::Str(value.clone())),
@@ -366,6 +379,15 @@ impl Request {
             },
             "binary" => Command::Binary {
                 bytes: hex_field("bytes")?,
+                digest: match p.get("digest") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Str(s)) => Some(e9cache::sha256::from_hex(s).ok_or_else(
+                        || RpcError::invalid_params("digest: expected 64 hex chars"),
+                    )?),
+                    Some(_) => {
+                        return Err(RpcError::invalid_params("digest: expected a string"))
+                    }
+                },
             },
             "option" => Command::Option {
                 name: p
@@ -551,13 +573,16 @@ pub struct WireMapping {
 /// How the rewrite cache participated in an `emit`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CacheDisposition {
-    /// No cache configured (or bypassed).
+    /// No cache configured.
     #[default]
     Off,
     /// Served from the cache — the reply bytes were NOT recomputed.
     Hit,
     /// Computed cold and stored for next time.
     Miss,
+    /// A cache was configured but the input was below the bypass
+    /// threshold: computed cold, nothing keyed, nothing stored.
+    Bypass,
 }
 
 impl CacheDisposition {
@@ -567,6 +592,7 @@ impl CacheDisposition {
             CacheDisposition::Off => "off",
             CacheDisposition::Hit => "hit",
             CacheDisposition::Miss => "miss",
+            CacheDisposition::Bypass => "bypass",
         }
     }
 
@@ -576,6 +602,7 @@ impl CacheDisposition {
             "off" => CacheDisposition::Off,
             "hit" => CacheDisposition::Hit,
             "miss" => CacheDisposition::Miss,
+            "bypass" => CacheDisposition::Bypass,
             _ => return None,
         })
     }
@@ -815,6 +842,228 @@ impl EmitReply {
             digest,
         })
     }
+
+    /// Serialize to the compact binary form the rewrite cache stores.
+    ///
+    /// The canonical-JSON form hex-encodes the patched binary (2 bytes
+    /// per byte plus framing) and costs a full JSON parse on every warm
+    /// hit; this codec stores the artifact verbatim — the payload is
+    /// within ~1% of the binary's own size and a hit decodes with a
+    /// handful of bounds checks. Fixed little-endian framing, fully
+    /// length-checked on decode. The per-response `cache`/`digest` fields
+    /// are deliberately NOT encoded: the server stamps them on each
+    /// reply, they are not part of the cached artifact.
+    pub fn encode_bin(&self) -> Vec<u8> {
+        fn put(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut out = Vec::with_capacity(
+            1 + 8 + self.binary.len()
+                + 15 * 8
+                + 8 + self.reports.len() * 19
+                + 8 + self.mappings.len() * 24,
+        );
+        out.push(EMIT_BIN_VERSION);
+        put(&mut out, self.binary.len() as u64);
+        out.extend_from_slice(&self.binary);
+        let s = &self.stats;
+        for v in [s.b1, s.b2, s.t1, s.t2, s.t3, s.b0, s.failed] {
+            put(&mut out, v as u64);
+        }
+        let z = &self.size;
+        for v in [
+            z.input_bytes,
+            z.output_bytes,
+            z.virtual_blocks,
+            z.physical_blocks,
+            z.mappings,
+            z.granularity,
+        ] {
+            put(&mut out, v);
+        }
+        put(&mut out, self.loader_addr);
+        put(&mut out, self.trap_count);
+        put(&mut out, self.reports.len() as u64);
+        for r in &self.reports {
+            put(&mut out, r.addr);
+            out.push(r.insn_len);
+            out.push(match r.tactic {
+                None => 0,
+                Some(t) => tactic_code(t),
+            });
+            match r.trampoline {
+                None => out.push(0),
+                Some(addr) => {
+                    out.push(1);
+                    put(&mut out, addr);
+                }
+            }
+        }
+        put(&mut out, self.mappings.len() as u64);
+        for m in &self.mappings {
+            put(&mut out, m.vaddr);
+            put(&mut out, m.file_off);
+            put(&mut out, m.len);
+        }
+        out
+    }
+
+    /// Decode the compact binary form ([`encode_bin`](EmitReply::encode_bin)).
+    /// `cache` comes back [`CacheDisposition::Off`] and `digest` `None` —
+    /// the server stamps both per response.
+    ///
+    /// # Errors
+    ///
+    /// A string description of the first malformed field; cache payloads
+    /// are integrity-checked by the store, so an error here means encoder
+    /// and decoder disagree and the caller recomputes cold.
+    pub fn decode_bin(raw: &[u8]) -> Result<EmitReply, String> {
+        let mut r = BinReader { raw, pos: 0 };
+        let version = r.u8()?;
+        if version != EMIT_BIN_VERSION {
+            return Err(format!("emit reply: unknown binary codec version {version}"));
+        }
+        let binary = r.bytes_with_len()?;
+        let stats = PatchStats {
+            b1: r.u64()? as usize,
+            b2: r.u64()? as usize,
+            t1: r.u64()? as usize,
+            t2: r.u64()? as usize,
+            t3: r.u64()? as usize,
+            b0: r.u64()? as usize,
+            failed: r.u64()? as usize,
+        };
+        let size = SizeStats {
+            input_bytes: r.u64()?,
+            output_bytes: r.u64()?,
+            virtual_blocks: r.u64()?,
+            physical_blocks: r.u64()?,
+            mappings: r.u64()?,
+            granularity: r.u64()?,
+        };
+        let loader_addr = r.u64()?;
+        let trap_count = r.u64()?;
+        let n_reports = r.count()?;
+        let mut reports = Vec::with_capacity(n_reports);
+        for _ in 0..n_reports {
+            let addr = r.u64()?;
+            let insn_len = r.u8()?;
+            let tactic = match r.u8()? {
+                0 => None,
+                code => Some(tactic_from_code(code).ok_or("emit reply: bad tactic code")?),
+            };
+            let trampoline = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                _ => return Err("emit reply: bad trampoline flag".into()),
+            };
+            reports.push(SiteReport {
+                addr,
+                insn_len,
+                tactic,
+                trampoline,
+            });
+        }
+        let n_mappings = r.count()?;
+        let mut mappings = Vec::with_capacity(n_mappings);
+        for _ in 0..n_mappings {
+            mappings.push(WireMapping {
+                vaddr: r.u64()?,
+                file_off: r.u64()?,
+                len: r.u64()?,
+            });
+        }
+        if r.pos != raw.len() {
+            return Err("emit reply: trailing bytes".into());
+        }
+        Ok(EmitReply {
+            binary,
+            stats,
+            size,
+            loader_addr,
+            trap_count,
+            reports,
+            mappings,
+            cache: CacheDisposition::Off,
+            digest: None,
+        })
+    }
+}
+
+/// Version byte of the compact binary emit-reply codec.
+const EMIT_BIN_VERSION: u8 = 1;
+
+fn tactic_code(t: TacticKind) -> u8 {
+    match t {
+        TacticKind::B0 => 1,
+        TacticKind::B1 => 2,
+        TacticKind::B2 => 3,
+        TacticKind::T1 => 4,
+        TacticKind::T2 => 5,
+        TacticKind::T3 => 6,
+    }
+}
+
+fn tactic_from_code(code: u8) -> Option<TacticKind> {
+    Some(match code {
+        1 => TacticKind::B0,
+        2 => TacticKind::B1,
+        3 => TacticKind::B2,
+        4 => TacticKind::T1,
+        5 => TacticKind::T2,
+        6 => TacticKind::T3,
+        _ => return None,
+    })
+}
+
+/// Bounds-checked little-endian reader for the binary emit-reply codec.
+struct BinReader<'a> {
+    raw: &'a [u8],
+    pos: usize,
+}
+
+impl BinReader<'_> {
+    fn u8(&mut self) -> Result<u8, String> {
+        let b = *self
+            .raw
+            .get(self.pos)
+            .ok_or("emit reply: truncated (u8)")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let end = self
+            .pos
+            .checked_add(8)
+            .filter(|&e| e <= self.raw.len())
+            .ok_or("emit reply: truncated (u64)")?;
+        let v = u64::from_le_bytes(self.raw[self.pos..end].try_into().expect("8 bytes"));
+        self.pos = end;
+        Ok(v)
+    }
+
+    /// A collection count, sanity-bounded by the remaining bytes so a
+    /// corrupt count cannot drive a huge `Vec::with_capacity`.
+    fn count(&mut self) -> Result<usize, String> {
+        let n = self.u64()? as usize;
+        if n > self.raw.len() - self.pos {
+            return Err("emit reply: count exceeds remaining bytes".into());
+        }
+        Ok(n)
+    }
+
+    fn bytes_with_len(&mut self) -> Result<Vec<u8>, String> {
+        let len = self.u64()? as usize;
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.raw.len())
+            .ok_or("emit reply: truncated (bytes)")?;
+        let out = self.raw[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(out)
+    }
 }
 
 // ---- typed cache-stats reply --------------------------------------------
@@ -851,6 +1100,8 @@ impl CacheStatsReply {
             ("errors", Json::Int(s.errors as i128)),
             ("mem_entries", Json::Int(s.mem_entries as i128)),
             ("mem_bytes", Json::Int(s.mem_bytes as i128)),
+            ("bypasses", Json::Int(s.bypasses as i128)),
+            ("bypass_threshold", Json::Int(s.bypass_threshold as i128)),
         ])
     }
 
@@ -886,6 +1137,12 @@ impl CacheStatsReply {
                 errors: u("errors")?,
                 mem_entries: u("mem_entries")?,
                 mem_bytes: u("mem_bytes")?,
+                // Tolerant: absent on pre-bypass servers.
+                bypasses: v.get("bypasses").and_then(Json::as_u64).unwrap_or(0),
+                bypass_threshold: v
+                    .get("bypass_threshold")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
             },
         })
     }
@@ -911,6 +1168,11 @@ mod tests {
             Command::Version { version: 1 },
             Command::Binary {
                 bytes: vec![0x7f, b'E', b'L', b'F'],
+                digest: None,
+            },
+            Command::Binary {
+                bytes: vec![0x7f, b'E', b'L', b'F'],
+                digest: Some(e9cache::digest(b"roundtrip")),
             },
             Command::Option {
                 name: "granularity".into(),
@@ -1092,6 +1354,8 @@ mod tests {
                 errors: 0,
                 mem_entries: 4,
                 mem_bytes: 4096,
+                bypasses: 3,
+                bypass_threshold: 128 << 10,
             },
         };
         let text = reply.to_json().serialize();

@@ -471,7 +471,7 @@ mod tests {
             input.push('\n');
         };
         push(Command::Version { version: 1 }, &mut input);
-        push(Command::Binary { bytes: bin }, &mut input);
+        push(Command::Binary { bytes: bin, digest: None }, &mut input);
         for i in &disasm {
             push(
                 Command::Instruction {

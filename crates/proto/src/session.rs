@@ -22,7 +22,7 @@ use crate::cachekey;
 use crate::msg::{code, CacheAction, CacheDisposition, CacheStatsReply, Command, EmitReply,
                  RpcError, WireMapping, PROTOCOL_VERSION};
 use crate::json::{obj, Json};
-use e9cache::{Cache, Entry};
+use e9cache::{Cache, Entry, Hit};
 use e9patch::planner::AllocPolicy;
 use e9patch::{ExtraSegment, PatchRequest, RewriteConfig, Rewriter};
 use e9x86::insn::Insn;
@@ -63,6 +63,10 @@ impl Default for SessionLimits {
 pub struct Session {
     version: Option<u64>,
     binary: Option<Vec<u8>>,
+    /// Tree digest of `binary`, computed at most once per session —
+    /// verified at intake when the client sent one, or lazily at the
+    /// first cache-engaged `emit` otherwise.
+    binary_digest: Option<e9cache::Digest>,
     config: RewriteConfig,
     insns: Vec<Insn>,
     extra: Vec<ExtraSegment>,
@@ -91,6 +95,7 @@ impl Session {
         Session {
             version: None,
             binary: None,
+            binary_digest: None,
             config: RewriteConfig::default(),
             insns: Vec::new(),
             extra: Vec::new(),
@@ -136,7 +141,7 @@ impl Session {
         }
         match cmd {
             Command::Version { version } => self.version_cmd(version),
-            Command::Binary { bytes } => self.binary_cmd(bytes),
+            Command::Binary { bytes, digest } => self.binary_cmd(bytes, digest),
             Command::Option { name, value } => self.option_cmd(&name, &value),
             Command::Reserve {
                 vaddr,
@@ -199,7 +204,11 @@ impl Session {
         ]))
     }
 
-    fn binary_cmd(&mut self, bytes: Vec<u8>) -> Result<Json, RpcError> {
+    fn binary_cmd(
+        &mut self,
+        bytes: Vec<u8>,
+        digest: Option<e9cache::Digest>,
+    ) -> Result<Json, RpcError> {
         if self.binary.is_some() {
             return Err(RpcError::state("binary already loaded"));
         }
@@ -210,6 +219,22 @@ impl Session {
         // at emit time.
         let elf = e9elf::Elf::parse(&bytes)
             .map_err(|e| RpcError::new(code::REWRITE, format!("unparseable ELF: {e}")))?;
+        if let Some(claimed) = digest {
+            // Verify, never trust: the cache is shared across every
+            // client of this daemon, so an unchecked digest would let one
+            // client poison another's cache keys. The recompute here is
+            // the session's ONE hash of the input — every later emit
+            // reuses it.
+            let actual = e9cache::tree::tree_digest(&bytes, self.config.jobs.unwrap_or(1));
+            if actual != claimed {
+                return Err(RpcError::invalid_params(format!(
+                    "binary digest mismatch: claimed {} but input hashes to {}",
+                    e9cache::sha256::hex(&claimed),
+                    e9cache::sha256::hex(&actual),
+                )));
+            }
+            self.binary_digest = Some(actual);
+        }
         let reply = obj(vec![
             ("size", Json::Int(bytes.len() as i128)),
             ("entry", Json::Int(elf.entry() as i128)),
@@ -300,25 +325,47 @@ impl Session {
         let Some(cache) = self.cache.clone() else {
             return self.emit_cold().map(|r| r.to_json());
         };
-        let binary = self.binary.as_deref().expect("checked above");
-        let key = cachekey::rewrite_key(binary, &self.insns, &self.extra, &self.patches, &self.config);
+        let binary_len = self.binary.as_ref().map_or(0, Vec::len) as u64;
+        if cache.should_bypass(binary_len) {
+            // Below the break-even size the rewrite is cheaper than
+            // keying it, so skip the cache entirely. Failures propagate
+            // unstored — a negative entry would pay the keying cost the
+            // bypass exists to avoid.
+            let mut reply = self.emit_cold()?;
+            reply.cache = CacheDisposition::Bypass;
+            return Ok(reply.to_json());
+        }
+        // Digest-once: hash the input at the first engaged emit (unless
+        // the client already sent a verified digest with `binary`), then
+        // reuse the 32-byte digest for every later keying.
+        if self.binary_digest.is_none() {
+            let binary = self.binary.as_deref().expect("checked above");
+            self.binary_digest =
+                Some(e9cache::tree::tree_digest(binary, self.config.jobs.unwrap_or(1)));
+        }
+        let bin_digest = self.binary_digest.expect("just ensured");
+        let key = cachekey::rewrite_key_from_digest(
+            &bin_digest,
+            &self.insns,
+            &self.extra,
+            &self.patches,
+            &self.config,
+        );
         let digest = e9cache::sha256::hex(&key);
         match cache.lookup(&key) {
-            Some(Entry::Ok(payload)) => {
-                // The stored payload is the canonical-JSON reply of the
-                // cold run; re-decode and stamp the hit disposition.
-                // An undecodable payload (encoder/decoder drift, which
-                // FORMAT_VERSION should preclude) falls through cold.
-                if let Some(mut reply) = crate::json::parse(&payload)
-                    .ok()
-                    .and_then(|v| EmitReply::from_json(&v).ok())
-                {
+            Some(Hit::Payload(blob)) => {
+                // The stored payload is the compact binary reply of the
+                // cold run, handed back as a zero-copy view; decode and
+                // stamp the hit disposition. An undecodable payload
+                // (encoder/decoder drift, which FORMAT_VERSION should
+                // preclude) falls through cold.
+                if let Ok(mut reply) = EmitReply::decode_bin(&blob) {
                     reply.cache = CacheDisposition::Hit;
                     reply.digest = Some(digest);
                     return Ok(reply.to_json());
                 }
             }
-            Some(Entry::Negative { code, message }) => {
+            Some(Hit::Negative { code, message }) => {
                 // Known-failing request: replay the original typed error
                 // without re-running the rewriter.
                 return Err(RpcError::new(code, message));
@@ -327,9 +374,10 @@ impl Session {
         }
         match self.emit_cold() {
             Ok(mut reply) => {
-                // Store the reply *before* the disposition stamp, so a
-                // future hit carries whatever disposition it earns then.
-                cache.put(&key, &Entry::Ok(reply.to_json().serialize().into_bytes()));
+                // The compact encoding carries neither disposition nor
+                // digest — the server stamps both per response — so the
+                // stored artifact is stamp-order independent.
+                cache.put(&key, &Entry::Ok(reply.encode_bin()));
                 reply.cache = CacheDisposition::Miss;
                 reply.digest = Some(digest);
                 Ok(reply.to_json())
@@ -469,7 +517,7 @@ mod tests {
         let mut s = Session::new();
         let mut cmds = vec![
             Command::Version { version: 1 },
-            Command::Binary { bytes: bin.clone() },
+            Command::Binary { bytes: bin.clone(), digest: None },
         ];
         for i in &disasm {
             cmds.push(Command::Instruction {
@@ -516,7 +564,7 @@ mod tests {
             })
             .unwrap();
         }
-        s.handle(Command::Binary { bytes: bin }).unwrap();
+        s.handle(Command::Binary { bytes: bin, digest: None }).unwrap();
         s.handle(Command::Instruction {
             addr: base,
             bytes: disasm[0].bytes().to_vec(),
@@ -585,7 +633,7 @@ mod tests {
         let (bin, _, _) = tiny();
         let mut s = Session::new();
         s.handle(Command::Version { version: 1 }).unwrap();
-        s.handle(Command::Binary { bytes: bin }).unwrap();
+        s.handle(Command::Binary { bytes: bin, digest: None }).unwrap();
         // Truncated instruction (mov needs 3 bytes).
         let e = s
             .handle(Command::Instruction {
@@ -612,7 +660,7 @@ mod tests {
         let mut s = Session::new();
         s.set_cache(cache);
         s.handle(Command::Version { version: 1 }).unwrap();
-        s.handle(Command::Binary { bytes: bin }).unwrap();
+        s.handle(Command::Binary { bytes: bin, digest: None }).unwrap();
         for i in &disasm {
             s.handle(Command::Instruction {
                 addr: i.addr,
@@ -639,7 +687,7 @@ mod tests {
     #[test]
     fn emit_misses_then_hits_byte_identically() {
         use crate::msg::CacheDisposition;
-        let cache = Arc::new(Cache::in_memory());
+        let cache = Arc::new(Cache::in_memory_no_bypass());
         // Two *sessions* sharing one cache, like two daemon connections.
         let mut a = primed_session(Some(Arc::clone(&cache)));
         let cold = EmitReply::from_json(&a.handle(Command::Emit).unwrap()).unwrap();
@@ -664,7 +712,7 @@ mod tests {
 
     #[test]
     fn config_change_changes_the_key() {
-        let cache = Arc::new(Cache::in_memory());
+        let cache = Arc::new(Cache::in_memory_no_bypass());
         let mut a = primed_session(Some(Arc::clone(&cache)));
         a.handle(Command::Emit).unwrap();
         // Same job but different granularity: a distinct cache entry.
@@ -682,11 +730,11 @@ mod tests {
     #[test]
     fn failing_rewrite_is_cached_negatively() {
         let (bin, _, _) = tiny();
-        let cache = Arc::new(Cache::in_memory());
+        let cache = Arc::new(Cache::in_memory_no_bypass());
         let mut s = Session::new();
         s.set_cache(Some(Arc::clone(&cache)));
         s.handle(Command::Version { version: 1 }).unwrap();
-        s.handle(Command::Binary { bytes: bin }).unwrap();
+        s.handle(Command::Binary { bytes: bin, digest: None }).unwrap();
         // A patch at an address with no declared instruction fails the
         // rewrite deterministically.
         s.handle(Command::Patch {
@@ -703,6 +751,72 @@ mod tests {
     }
 
     #[test]
+    fn tiny_emits_bypass_the_cache_by_default() {
+        use crate::msg::CacheDisposition;
+        // The default threshold (128 KiB) dwarfs the tiny workload, so a
+        // session with an un-tuned cache must skip keying entirely.
+        let cache = Arc::new(Cache::in_memory());
+        let mut s = primed_session(Some(Arc::clone(&cache)));
+        let reply = EmitReply::from_json(&s.handle(Command::Emit).unwrap()).unwrap();
+        assert_eq!(reply.cache, CacheDisposition::Bypass);
+        assert_eq!(reply.digest, None);
+        let stats = cache.stats();
+        assert_eq!(stats.bypasses, 1);
+        assert_eq!(stats.stores, 0);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn bypassed_failures_are_not_cached_negatively() {
+        let (bin, _, _) = tiny();
+        let cache = Arc::new(Cache::in_memory());
+        let mut s = Session::new();
+        s.set_cache(Some(Arc::clone(&cache)));
+        s.handle(Command::Version { version: 1 }).unwrap();
+        s.handle(Command::Binary { bytes: bin, digest: None }).unwrap();
+        s.handle(Command::Patch {
+            addr: 0x401000,
+            template: Template::Empty,
+        })
+        .unwrap();
+        // Both emits fail cold: below the threshold nothing is keyed, so
+        // nothing — not even the failure — is stored.
+        let first = s.handle(Command::Emit).unwrap_err();
+        let second = s.handle(Command::Emit).unwrap_err();
+        assert_eq!(first.code, code::REWRITE);
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!(stats.stores, 0);
+        assert_eq!(stats.negative_hits, 0);
+        assert_eq!(stats.bypasses, 2);
+    }
+
+    #[test]
+    fn binary_digest_is_verified_at_intake() {
+        let (bin, _, _) = tiny();
+        let mut s = Session::new();
+        s.handle(Command::Version { version: 1 }).unwrap();
+        let wrong = e9cache::digest(b"not the binary");
+        let e = s
+            .handle(Command::Binary {
+                bytes: bin.clone(),
+                digest: Some(wrong),
+            })
+            .unwrap_err();
+        assert_eq!(e.code, code::INVALID_PARAMS);
+        assert!(e.message.contains("digest mismatch"), "{}", e.message);
+        // The rejected intake left no binary behind; the correct digest
+        // (jobs-invariant, so any worker count works) is accepted.
+        let right = e9cache::tree::tree_digest(&bin, 4);
+        s.handle(Command::Binary {
+            bytes: bin,
+            digest: Some(right),
+        })
+        .unwrap();
+    }
+
+    #[test]
     fn cache_command_reports_and_clears() {
         use crate::msg::{CacheAction, CacheStatsReply};
         // Without a cache: disabled, zero counters, clear is a no-op.
@@ -716,7 +830,7 @@ mod tests {
         let stats = CacheStatsReply::from_json(&r).unwrap();
         assert!(!stats.enabled);
 
-        let cache = Arc::new(Cache::in_memory());
+        let cache = Arc::new(Cache::in_memory_no_bypass());
         let mut s = primed_session(Some(Arc::clone(&cache)));
         s.handle(Command::Emit).unwrap();
         let r = s
@@ -746,6 +860,7 @@ mod tests {
         let e = s
             .handle(Command::Binary {
                 bytes: vec![0u8; 64],
+                digest: None,
             })
             .unwrap_err();
         assert_eq!(e.code, code::REWRITE);

@@ -31,7 +31,10 @@ fn drive(
     sites: &[u64],
 ) -> e9proto::EmitReply {
     client.negotiate().unwrap();
-    client.binary(bin).unwrap();
+    // Exercise the digest-once wire path: pre-hash the input and let the
+    // server verify it at intake instead of re-hashing at emit.
+    let digest = e9cache::tree::tree_digest(bin, 1);
+    client.binary_with_digest(bin, &digest).unwrap();
     for i in disasm {
         client.instruction(i.addr, i.bytes()).unwrap();
     }
@@ -41,6 +44,19 @@ fn drive(
     let reply = client.emit().unwrap();
     assert_eq!(reply.stats.failed, 0, "{:?}", reply.stats);
     reply
+}
+
+#[test]
+fn wrong_digest_is_rejected_over_the_wire() {
+    // A claimed digest that does not match the bytes must be refused at
+    // intake with a typed error — the shared cache is only safe because
+    // the server never trusts a client-supplied digest.
+    let (bin, _, _) = workload();
+    let mut client = ProtoClient::in_process().unwrap();
+    client.negotiate().unwrap();
+    let wrong = e9cache::digest(b"not the binary");
+    let err = client.binary_with_digest(&bin, &wrong).unwrap_err();
+    assert!(err.to_string().contains("digest mismatch"), "{err}");
 }
 
 #[test]
@@ -56,6 +72,9 @@ fn two_connections_share_the_cache_and_hit_byte_identically() {
         .arg(&sock)
         .arg("--cache-dir")
         .arg(&cache_dir)
+        // The synth workload is tiny: disable the size bypass so the
+        // cache mechanics under test actually engage.
+        .args(["--cache-bypass-bytes", "0"])
         .args(["--max-conns", "2"])
         .spawn()
         .unwrap();

@@ -62,7 +62,14 @@ fn build_json(ops: &mut std::vec::IntoIter<u8>, depth: usize) -> Json {
 fn build_command(sel: u8, addr: u64, bytes: Vec<u8>, name: String, flag: bool) -> Command {
     match sel % 10 {
         0 => Command::Version { version: addr },
-        1 => Command::Binary { bytes },
+        1 => Command::Binary {
+            digest: if flag {
+                Some(e9cache::digest(&bytes))
+            } else {
+                None
+            },
+            bytes,
+        },
         2 => Command::Option {
             name,
             value: format!("{addr}"),

@@ -18,9 +18,13 @@
 #      byte-identical patched binaries (and match the sequential output),
 #      plus a bench_parallel smoke run
 #   7. rewrite cache: patching twice with --cache-dir must report a miss
-#      then a hit with byte-identical output, --no-cache must bypass the
-#      store, contradictory flags must fail with exit 1, and a seeded
-#      cache-surface fault campaign plus a bench_cache smoke must pass
+#      then a hit with byte-identical output, a tiny input through a
+#      default-threshold cache must report a bypass, --no-cache must skip
+#      the store, contradictory flags must fail with exit 1, a seeded
+#      cache-surface fault campaign must pass, and a quick full-ladder
+#      bench run must show the warm memory hit beating the uncached
+#      rewrite at the largest rung (the hot-path perf gate; the committed
+#      results/bench_cache.json is restored afterwards)
 #
 # Knobs: E9QCHECK_CASES scales property-test depth (default 64);
 # E9_SEED pins the generator seed used by step 3's CLI runs;
@@ -84,14 +88,22 @@ cargo bench -q --offline -p e9bench --bench parallel -- --smoke --no-json
 
 echo "== rewrite cache (cold store, warm hit, byte-identical) =="
 cdir="$tmp/cache"
+# The verify workload is tiny, below the default size bypass — disable
+# the threshold here so the miss/hit mechanics are actually exercised.
 "${e9tool[@]}" patch "$tmp/a.elf" -o "$tmp/a.c1.e9" --app a1 --cache-dir "$cdir" \
-  | tee "$tmp/c1.log"
+  --cache-bypass-bytes 0 | tee "$tmp/c1.log"
 grep -q "cache: miss" "$tmp/c1.log" || { echo "first cached run did not miss" >&2; exit 1; }
 "${e9tool[@]}" patch "$tmp/a.elf" -o "$tmp/a.c2.e9" --app a1 --cache-dir "$cdir" \
-  | tee "$tmp/c2.log"
+  --cache-bypass-bytes 0 | tee "$tmp/c2.log"
 grep -q "cache: hit" "$tmp/c2.log" || { echo "second cached run did not hit" >&2; exit 1; }
 cmp "$tmp/a.c1.e9" "$tmp/a.c2.e9"
 cmp "$tmp/a.e9" "$tmp/a.c1.e9"
+# Same tiny input through a DEFAULT-threshold cache: bypassed, not keyed.
+"${e9tool[@]}" patch "$tmp/a.elf" -o "$tmp/a.cb.e9" --app a1 --cache-dir "$tmp/cache-bypass" \
+  | tee "$tmp/cb.log"
+grep -q "cache: bypass" "$tmp/cb.log" \
+  || { echo "tiny input did not bypass a default-threshold cache" >&2; exit 1; }
+cmp "$tmp/a.e9" "$tmp/a.cb.e9"
 E9CACHE_DIR="$cdir" "${e9tool[@]}" patch "$tmp/a.elf" -o "$tmp/a.c3.e9" --app a1 --no-cache \
   | tee "$tmp/c3.log"
 if grep -q "cache:" "$tmp/c3.log"; then
@@ -104,8 +116,32 @@ if "${e9tool[@]}" patch "$tmp/a.elf" -o "$tmp/a.c4.e9" --app a1 \
 fi
 grep -q -- "--no-cache contradicts --cache-dir" "$tmp/c4.log" \
   || { echo "conflict diagnostic missing" >&2; cat "$tmp/c4.log" >&2; exit 1; }
-echo "cache miss/hit byte-identical, bypass and conflict diagnostics: ok"
+echo "cache miss/hit byte-identical, size bypass and conflict diagnostics: ok"
 target/release/e9fault --seed "${E9FAULT_SEED:-42}" --surface cache --cache-cases 120
-cargo bench -q --offline -p e9bench --bench cache -- --smoke --no-json
+
+echo "== cache hot-path perf gate (warm hit vs cold rewrite) =="
+# Run the full ladder with few samples (quick but real measurements),
+# then require the warm memory hit to beat the uncached rewrite at the
+# largest rung. The committed results file is saved and restored — this
+# run is a gate, not a results refresh.
+bench_json="results/bench_cache.json"
+cp "$bench_json" "$tmp/bench_cache.committed.json"
+cargo bench -q --offline -p e9bench --bench cache -- --samples 3 | tee "$tmp/bench_cache.log"
+median_ns() {
+  grep -o "\"name\": \"$1\", \"median_ns\": [0-9.]*" "$bench_json" \
+    | sed 's/.*median_ns.: //'
+}
+top_rung="128MiB"
+warm="$(median_ns "patch_warm_mem/$top_rung")"
+uncached="$(median_ns "patch_uncached/$top_rung")"
+mv "$tmp/bench_cache.committed.json" "$bench_json"
+[ -n "$warm" ] && [ -n "$uncached" ] \
+  || { echo "perf gate: missing $top_rung medians in bench output" >&2; exit 1; }
+grep "break-even" "$tmp/bench_cache.log" || true
+if ! awk -v w="$warm" -v u="$uncached" 'BEGIN { exit !(w < u) }'; then
+  echo "perf gate FAILED: warm hit ($warm ns) slower than uncached ($uncached ns) at $top_rung" >&2
+  exit 1
+fi
+echo "perf gate: warm hit ($warm ns) beats uncached rewrite ($uncached ns) at $top_rung"
 
 echo "ALL CHECKS PASSED"

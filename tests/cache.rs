@@ -29,8 +29,11 @@ fn object_path(root: &std::path::Path, hex: &str) -> std::path::PathBuf {
 #[test]
 fn cold_run_stores_warm_run_hits_byte_identically() {
     let dir = tmpdir("warm");
+    // The synth workload is tiny, far below the default bypass threshold;
+    // these tests exercise the cache mechanics, so disable the bypass.
     let config = CacheConfig {
         dir: Some(dir.clone()),
+        bypass_bytes: Some(0),
         ..CacheConfig::default()
     };
     let (bin, disasm, opts) = workload();
@@ -67,10 +70,40 @@ fn cold_run_stores_warm_run_hits_byte_identically() {
 }
 
 #[test]
+fn tiny_input_bypasses_an_untuned_cache() {
+    // Under the DEFAULT config (bypass threshold engaged) the same tiny
+    // workload must skip the cache: correct bytes, `Bypass` disposition,
+    // bypass counter ticking, and nothing keyed or stored.
+    let dir = tmpdir("bypass");
+    let config = CacheConfig {
+        dir: Some(dir.clone()),
+        ..CacheConfig::default()
+    };
+    let (bin, disasm, opts) = workload();
+    let baseline = instrument_with_disasm(&bin, &disasm, &opts).unwrap();
+
+    let cache = Cache::open(&config).unwrap();
+    let res = instrument_cached(&bin, &disasm, &opts, &cache).unwrap();
+    let outcome = res.cache.clone().expect("cached path must report an outcome");
+    assert_eq!(outcome.disposition, CacheDisposition::Bypass);
+    assert_eq!(outcome.digest, None, "bypassed runs are never keyed");
+    assert_eq!(res.rewrite.binary, baseline.rewrite.binary);
+
+    let stats = cache.stats();
+    assert_eq!(stats.bypasses, 1, "{stats:?}");
+    assert_eq!(stats.stores, 0, "{stats:?}");
+    assert_eq!(stats.misses, 0, "{stats:?}");
+    assert_eq!(stats.hits, 0, "{stats:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn corrupt_disk_entry_degrades_to_recomputed_identical_output() {
     let dir = tmpdir("corrupt");
     let config = CacheConfig {
         dir: Some(dir.clone()),
+        bypass_bytes: Some(0),
         ..CacheConfig::default()
     };
     let (bin, disasm, opts) = workload();
@@ -79,7 +112,7 @@ fn corrupt_disk_entry_degrades_to_recomputed_identical_output() {
     let digest_hex = {
         let cache = Cache::open(&config).unwrap();
         let cold = instrument_cached(&bin, &disasm, &opts, &cache).unwrap();
-        cold.cache.unwrap().digest
+        cold.cache.unwrap().digest.expect("miss carries the digest")
     };
     let object = object_path(&dir, &digest_hex);
     let mut stored = std::fs::read(&object).unwrap();
