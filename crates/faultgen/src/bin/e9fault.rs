@@ -21,14 +21,19 @@ fn usage() -> ExitCode {
         "e9fault — deterministic fault-injection campaigns
 
 USAGE:
-  e9fault [--seed N] [--elf-cases N] [--wire-cases N] [--cache-cases N] [--jobs N]
-  e9fault --surface elf|wire|cache --case N [--seed N] [--jobs N]   replay one case
+  e9fault [--seed N] [--elf-cases N] [--wire-cases N] [--cache-cases N]
+          [--loop-cases N] [--jobs N]
+  e9fault --surface elf|wire|cache|loop --case N [--seed N] [--jobs N]
+                                                   replay one case
   e9fault --write-corpus DIR                       regenerate hostile ELFs
 
 --jobs N makes the wire baseline select the parallel sharded planner
 (option jobs=N), so mutants exercise the worker-pool path.
 The cache surface damages on-disk rewrite-cache entries and the index
 journal, asserting typed errors, quarantine and cold-path recovery.
+The loop surface runs hostile client behaviors (slow-loris, partial
+lines, mid-poll disconnects, never-reading queue-fillers) against a real
+reactor, asserting it never panics and healthy connections stay served.
 The seed defaults to ${ENV_SEED} (then 42). Exit 1 if any case panics."
     );
     ExitCode::from(2)
@@ -57,6 +62,20 @@ fn replay(seed: u64, surface: Surface, case: u32, jobs: Option<usize>) -> ExitCo
             ));
             eprintln!("e9fault: replaying cache case {case} in {}", root.display());
             cache::cache_case(&mut rng, &root)
+        }
+        #[cfg(target_os = "linux")]
+        Surface::Loop => {
+            let sock = std::env::temp_dir().join(format!(
+                "e9fault-loop-replay-{}-{case}.sock",
+                std::process::id()
+            ));
+            eprintln!("e9fault: replaying loop case {case} on {}", sock.display());
+            e9faultgen::loopgen::loop_case(&mut rng, &sock)
+        }
+        #[cfg(not(target_os = "linux"))]
+        Surface::Loop => {
+            eprintln!("e9fault: the loop surface needs Linux (epoll reactor)");
+            return ExitCode::from(2);
         }
     };
     println!("{ENV_SEED}={seed} surface={} case={case}: {outcome:?}", surface.name());
@@ -106,6 +125,9 @@ fn main() -> ExitCode {
     let mut elf_cases = 320u32;
     let mut wire_cases = 200u32;
     let mut cache_cases = 120u32;
+    // Each loop case boots a real reactor + hostile clients, so the
+    // default stays modest to bound campaign wall time.
+    let mut loop_cases = 24u32;
     let mut surface: Option<Surface> = None;
     let mut case: Option<u32> = None;
     let mut corpus_dir: Option<String> = None;
@@ -142,6 +164,13 @@ fn main() -> ExitCode {
                 }
                 None => return usage(),
             },
+            "--loop-cases" => match take(i).and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    loop_cases = v;
+                    i += 2;
+                }
+                None => return usage(),
+            },
             "--surface" => match take(i).as_deref() {
                 Some("elf") => {
                     surface = Some(Surface::Elf);
@@ -153,6 +182,10 @@ fn main() -> ExitCode {
                 }
                 Some("cache") => {
                     surface = Some(Surface::Cache);
+                    i += 2;
+                }
+                Some("loop") => {
+                    surface = Some(Surface::Loop);
                     i += 2;
                 }
                 _ => return usage(),
@@ -199,10 +232,21 @@ fn main() -> ExitCode {
             reports.push(e9faultgen::run_wire_campaign_with_jobs(seed, wire_cases, jobs));
         }
         Some(Surface::Cache) => reports.push(e9faultgen::run_cache_campaign(seed, cache_cases)),
+        #[cfg(target_os = "linux")]
+        Some(Surface::Loop) => reports.push(e9faultgen::run_loop_campaign(seed, loop_cases)),
+        #[cfg(not(target_os = "linux"))]
+        Some(Surface::Loop) => {
+            eprintln!("e9fault: the loop surface needs Linux (epoll reactor)");
+            return ExitCode::from(2);
+        }
         None => {
             reports.push(e9faultgen::run_elf_campaign(seed, elf_cases));
             reports.push(e9faultgen::run_wire_campaign_with_jobs(seed, wire_cases, jobs));
             reports.push(e9faultgen::run_cache_campaign(seed, cache_cases));
+            #[cfg(target_os = "linux")]
+            reports.push(e9faultgen::run_loop_campaign(seed, loop_cases));
+            #[cfg(not(target_os = "linux"))]
+            let _ = loop_cases;
         }
     }
     finish(&reports)

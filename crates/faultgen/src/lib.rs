@@ -31,6 +31,8 @@
 pub mod cache;
 pub mod corpus;
 pub mod elf;
+#[cfg(target_os = "linux")]
+pub mod loopgen;
 pub mod wire;
 
 use e9rng::{SplitMix64, StdRng};
@@ -56,6 +58,9 @@ pub enum Surface {
     Wire,
     /// On-disk rewrite-cache entries and index into `e9cache`.
     Cache,
+    /// Hostile client behaviors (timing + socket discipline) against the
+    /// reactor serving loop.
+    Loop,
 }
 
 impl Surface {
@@ -64,15 +69,17 @@ impl Surface {
             Surface::Elf => 0x454C_465F_5355_5246, // "ELF_SURF"
             Surface::Wire => 0x5749_5245_5355_5246, // "WIRESURF"
             Surface::Cache => 0x4341_4348_4553_5246, // "CACHESRF"
+            Surface::Loop => 0x4C4F_4F50_5355_5246, // "LOOPSURF"
         }
     }
 
-    /// Command-line name (`elf` / `wire` / `cache`).
+    /// Command-line name (`elf` / `wire` / `cache` / `loop`).
     pub fn name(self) -> &'static str {
         match self {
             Surface::Elf => "elf",
             Surface::Wire => "wire",
             Surface::Cache => "cache",
+            Surface::Loop => "loop",
         }
     }
 }
@@ -238,6 +245,29 @@ pub fn run_cache_campaign(seed: u64, cases: u32) -> CampaignReport {
         let root = base.join(format!("case{case_no}"));
         case_no += 1;
         cache::cache_case(rng, &root)
+    });
+    let _ = std::fs::remove_dir_all(&base);
+    report
+}
+
+/// Run `cases` seeded hostile-client campaigns against the reactor
+/// serving loop: each case boots a real reactor on a scratch Unix
+/// socket, runs slow-loris / partial-line / mid-poll-disconnect /
+/// never-reading / oversized / garbage behaviors against it, and asserts
+/// the loop neither panics nor stops serving a healthy connection (see
+/// [`loopgen::loop_case`]).
+#[cfg(target_os = "linux")]
+pub fn run_loop_campaign(seed: u64, cases: u32) -> CampaignReport {
+    let base = std::env::temp_dir().join(format!(
+        "e9fault-loop-{}-{seed:x}",
+        std::process::id()
+    ));
+    let _ = std::fs::create_dir_all(&base);
+    let mut case_no = 0u32;
+    let report = run_campaign(Surface::Loop, seed, cases, |rng| {
+        let sock = base.join(format!("case{case_no}.sock"));
+        case_no += 1;
+        loopgen::loop_case(rng, &sock)
     });
     let _ = std::fs::remove_dir_all(&base);
     report

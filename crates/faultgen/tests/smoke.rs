@@ -68,6 +68,28 @@ fn cache_campaign_is_panic_free() {
     assert!(report.rejected > 0, "no mutant was rejected: {}", report.summary());
 }
 
+#[cfg(target_os = "linux")]
+#[test]
+fn loop_campaign_is_panic_free() {
+    // Hostile client *behaviors* (slow-loris, partial lines, mid-poll
+    // disconnects, never-reading queue-fillers) against a live reactor:
+    // the loop must never panic and must keep serving a healthy
+    // connection while hostile ones are parked or shed. loop_case folds
+    // a stalled healthy probe into the panic count.
+    let seed = seed_from_env();
+    let report = e9faultgen::run_loop_campaign(seed, 8);
+    assert!(
+        report.is_clean(),
+        "loop campaign panicked; replay with:\n{}",
+        report.replay_lines()
+    );
+    assert!(
+        report.rejected > 0,
+        "no behavior was shed or answered with a typed error: {}",
+        report.summary()
+    );
+}
+
 #[test]
 fn cache_campaign_is_deterministic() {
     let a = e9faultgen::run_cache_campaign(9, 30);

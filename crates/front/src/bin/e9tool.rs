@@ -23,7 +23,8 @@ USAGE:
   e9tool disasm BINARY [--limit N]
   e9tool patch BINARY -o OUT [--app a1|a2|a3|all] [--payload empty|counter|counters|lowfat|trace]
               [--no-t1] [--no-t2] [--no-t3] [--b0] [--granularity M] [--no-grouping]
-              [--jobs N] [--report] [--verify] [--backend stdio|/path/to.sock]
+              [--jobs N] [--report] [--verify]
+              [--backend stdio|/path/to.sock|tcp:ADDR:PORT]
               [--cache-dir DIR | --no-cache] [--cache-bypass-bytes N]
   e9tool run  BINARY [--lowfat] [--max-steps N] [--hex-output]
 
@@ -31,7 +32,8 @@ USAGE:
 `patch --backend` drives the rewrite through an e9patchd backend over the
 wire protocol instead of in-process: `stdio` spawns a daemon child
 ($E9PATCHD, an e9patchd next to e9tool, or $PATH), a path connects to a
-daemon's Unix socket. Output is byte-identical to the in-process path.
+daemon's Unix socket, and `tcp:ADDR:PORT` connects to a daemon started
+with --listen-tcp. Output is byte-identical to the in-process path.
 `patch --cache-dir DIR` reuses finished rewrites from a content-addressed
 cache at DIR ($E9CACHE_DIR provides a default; --no-cache disables both).
 A hit is byte-identical to a cold rewrite. Inputs below the bypass
@@ -304,11 +306,35 @@ fn resolve_bypass_bytes(args: &Args) -> Result<Option<u64>, String> {
     }
 }
 
+/// Validate the address part of a `--backend tcp:ADDR:PORT` spec.
+///
+/// The check is purely syntactic (host non-empty, numeric port) so a
+/// malformed spec fails fast with a named diagnostic instead of a
+/// connect timeout against a nonsense address.
+fn check_tcp_backend(rest: &str) -> Result<(), String> {
+    let malformed = || {
+        Err(format!(
+            "--backend tcp: wants ADDR:PORT (e.g. tcp:127.0.0.1:9990), got tcp:{rest}"
+        ))
+    };
+    // rsplit: the host part may itself contain colons ([::1]:9990).
+    match rest.rsplit_once(':') {
+        Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => Ok(()),
+        _ => malformed(),
+    }
+}
+
 /// Open the protocol backend named by `--backend`: `stdio` spawns the
-/// default daemon as a child; anything else is a Unix socket path.
+/// default daemon as a child, `tcp:ADDR:PORT` connects to a TCP daemon;
+/// anything else is a Unix socket path.
 fn backend_client(spec: &str) -> Result<e9proto::ProtoClient, String> {
     if spec == "stdio" {
         return e9proto::ProtoClient::spawn_default().map_err(|e| e.to_string());
+    }
+    if let Some(rest) = spec.strip_prefix("tcp:") {
+        check_tcp_backend(rest)?;
+        return e9proto::ProtoClient::connect_tcp_retry(rest, 4)
+            .map_err(|e| format!("cannot connect to backend tcp:{rest}: {e}"));
     }
     #[cfg(unix)]
     {
@@ -617,5 +643,24 @@ mod tests {
         let args = parse(&["x", "-o", "o", "--cache-dir"]);
         let err = resolve_cache_dir_from(&args, None).unwrap_err();
         assert!(err.contains("DIR"), "{err}");
+    }
+
+    #[test]
+    fn tcp_backend_accepts_well_formed_addresses() {
+        assert!(check_tcp_backend("127.0.0.1:9990").is_ok());
+        assert!(check_tcp_backend("localhost:1").is_ok());
+        assert!(check_tcp_backend("[::1]:9990").is_ok());
+    }
+
+    #[test]
+    fn malformed_tcp_backend_is_a_named_diagnostic() {
+        // Missing port, empty host, non-numeric or out-of-range port:
+        // each names the flag and the offending spec.
+        for bad in ["", "127.0.0.1", ":9990", "host:", "host:http", "host:99999"] {
+            let err = check_tcp_backend(bad).unwrap_err();
+            assert!(err.contains("--backend tcp:"), "{err}");
+            assert!(err.contains("ADDR:PORT"), "{err}");
+            assert!(err.contains(&format!("tcp:{bad}")), "{err}");
+        }
     }
 }

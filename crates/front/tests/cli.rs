@@ -217,6 +217,99 @@ fn patch_backend_socket_matches_in_process() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[cfg(target_os = "linux")]
+#[test]
+fn patch_backend_tcp_matches_in_process() {
+    let dir = tmpdir("backend-tcp");
+    let elf = dir.join("demo.elf");
+    let direct = dir.join("direct.e9");
+    let via = dir.join("via.e9");
+
+    assert!(e9tool()
+        .args(["gen", "--tiny", "cli-backend-tcp", "-o"])
+        .arg(&elf)
+        .env("E9_SEED", "43")
+        .status()
+        .unwrap()
+        .success());
+
+    // In-process reference output.
+    assert!(e9tool()
+        .arg("patch")
+        .arg(&elf)
+        .arg("-o")
+        .arg(&direct)
+        .args(["--app", "a1", "--payload", "counter"])
+        .status()
+        .unwrap()
+        .success());
+
+    // An in-thread reactor daemon on an ephemeral TCP port, draining
+    // after one connection.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let opts = e9proto::reactor::ReactorOptions {
+            accept_budget: Some(1),
+            ..e9proto::reactor::ReactorOptions::default()
+        };
+        e9proto::reactor::serve_reactor(
+            vec![e9proto::reactor::Listener::Tcp(listener)],
+            &e9proto::server::ServeConfig::default(),
+            &opts,
+        )
+        .unwrap();
+    });
+
+    let out = e9tool()
+        .arg("patch")
+        .arg(&elf)
+        .arg("-o")
+        .arg(&via)
+        .args(["--app", "a1", "--payload", "counter", "--backend"])
+        .arg(format!("tcp:{addr}"))
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "tcp backend patch failed: {out:?}");
+    server.join().unwrap();
+
+    let a = std::fs::read(&direct).unwrap();
+    let b = std::fs::read(&via).unwrap();
+    assert_eq!(a, b, "tcp backend output diverged from in-process output");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A malformed `--backend tcp:` spec is a named diagnostic and exit 1 —
+/// no connect attempt, no partial output.
+#[test]
+fn malformed_tcp_backend_exits_one_with_diagnostic() {
+    let dir = tmpdir("backend-tcp-bad");
+    let elf = dir.join("demo.elf");
+    assert!(e9tool()
+        .args(["gen", "--tiny", "cli-bad-tcp", "-o"])
+        .arg(&elf)
+        .status()
+        .unwrap()
+        .success());
+
+    let out = e9tool()
+        .arg("patch")
+        .arg(&elf)
+        .arg("-o")
+        .arg(dir.join("never.e9"))
+        .args(["--app", "a1", "--backend", "tcp:no-port-here"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--backend tcp:"), "stderr: {err}");
+    assert!(err.contains("ADDR:PORT"), "stderr: {err}");
+    assert!(!dir.join("never.e9").exists());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn profile_rows_are_generatable() {
     let dir = tmpdir("profiles");

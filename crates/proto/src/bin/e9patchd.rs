@@ -5,24 +5,51 @@
 //!
 //! ```console
 //! $ e9patchd --stdio                      # one session on stdin/stdout
-//! $ e9patchd --socket /tmp/e9.sock        # daemon: thread per connection
+//! $ e9patchd --socket /tmp/e9.sock        # daemon on a Unix socket
+//! $ e9patchd --listen-tcp 127.0.0.1:9990  # daemon on TCP
 //! $ e9patchd --socket /tmp/e9.sock --max-conns 1   # serve one job, exit
 //! ```
 //!
-//! A client `shutdown` command stops the daemon cleanly; `--max-conns N`
-//! exits after `N` connections (handy for CI smoke stages).
+//! ## Serving modes
+//!
+//! The socket modes default to the **reactor**: one `e9loop` epoll event
+//! loop multiplexing every connection (thousands of concurrent sessions,
+//! request pipelining, admission control, graceful drain). Replies are
+//! byte-identical to the legacy thread-per-connection server, which
+//! remains available behind `--threaded`. `--socket` and `--listen-tcp`
+//! can be combined (one loop serves both); `--threaded` supports only
+//! `--socket`.
+//!
+//! A client `shutdown` command stops the daemon cleanly: the listeners
+//! close immediately (late connections are refused, never hung) while
+//! in-flight work finishes and its replies are flushed. `--max-conns N`
+//! drains after `N` accepted connections (handy for CI smoke stages).
+//!
+//! ## Overload: the BUSY contract
+//!
+//! Under the reactor the daemon never stalls on an overloaded or hostile
+//! client; it sheds load with a typed `BUSY` (-7) error, `id: null`:
+//!
+//! * arrivals past `--max-clients` get one BUSY line, then close;
+//! * requests arriving while queued replies exceed `--max-pending-bytes`
+//!   are answered BUSY instead of dispatched;
+//! * a client that stops reading its replies is disconnected once its
+//!   queue passes the per-connection cap.
 //!
 //! Hardening knobs (all have safe defaults):
 //!
-//! * `--timeout-ms N` — per-connection socket read/write timeout in
-//!   milliseconds (default 30000; `0` disables). A client that connects
-//!   and stalls is dropped instead of pinning a server thread.
+//! * `--timeout-ms N` — idle timeout in milliseconds (default 30000; `0`
+//!   disables): a connection with no bytes moving either way for that
+//!   long is dropped. (In `--threaded` mode this is the per-read socket
+//!   timeout, as before.)
 //! * `--max-line-bytes N` — longest accepted request line (default
 //!   67108864 = 64 MiB). Longer lines are drained and answered with a
 //!   typed `LIMIT` error; the connection survives.
 //! * `--jobs N` — default planner worker count for every session (the
 //!   parallel sharded pipeline; output is byte-identical for every N).
 //!   A client's explicit `option jobs` overrides it.
+//! * `--drain-ms N` — on shutdown, how long an in-flight connection may
+//!   sit inactive before being cut (default 5000).
 //!
 //! Rewrite cache (PR 5): `--cache-dir PATH` enables the two-tier
 //! content-addressed cache (memory LRU in front of an on-disk CAS at
@@ -43,10 +70,19 @@ fn usage() -> ExitCode {
 
 USAGE:
   e9patchd [--stdio]                        serve one session on stdio
-  e9patchd --socket PATH [--max-conns N]    serve a Unix socket
+  e9patchd --socket PATH [--max-conns N]    serve a Unix socket (reactor)
+  e9patchd --listen-tcp ADDR:PORT           serve TCP (reactor; combinable
+                                            with --socket, one event loop)
 
 OPTIONS:
-  --timeout-ms N        socket read/write timeout in ms (default 30000, 0 = none)
+  --threaded            legacy thread-per-connection mode (--socket only)
+  --max-clients N       reactor connection cap; extra arrivals get a typed
+                        BUSY error (default 1024)
+  --max-pending-bytes N reactor loop-wide queued-reply budget; requests
+                        over it get BUSY instead of stalling (default
+                        268435456)
+  --drain-ms N          shutdown drain inactivity bound in ms (default 5000)
+  --timeout-ms N        idle timeout in ms (default 30000, 0 = none)
   --max-line-bytes N    longest accepted request line (default 67108864)
   --jobs N              default planner worker count (default: sequential)
   --cache-dir PATH      enable the rewrite cache with an on-disk tier at PATH
@@ -64,11 +100,15 @@ OPTIONS:
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut socket: Option<String> = None;
+    let mut listen_tcp: Option<String> = None;
     let mut max_conns: Option<usize> = None;
     let mut stdio = false;
+    let mut threaded = false;
     let mut config = ServeConfig::default();
     let mut cache_config = e9cache::CacheConfig::default();
     let mut want_cache = false;
+    #[cfg(target_os = "linux")]
+    let mut reactor_opts = e9proto::reactor::ReactorOptions::default();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -76,13 +116,45 @@ fn main() -> ExitCode {
                 stdio = true;
                 i += 1;
             }
+            "--threaded" => {
+                threaded = true;
+                i += 1;
+            }
             "--socket" if i + 1 < argv.len() => {
                 socket = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--listen-tcp" if i + 1 < argv.len() => {
+                listen_tcp = Some(argv[i + 1].clone());
                 i += 2;
             }
             "--max-conns" if i + 1 < argv.len() => {
                 match argv[i + 1].parse() {
                     Ok(n) => max_conns = Some(n),
+                    Err(_) => return usage(),
+                }
+                i += 2;
+            }
+            #[cfg(target_os = "linux")]
+            "--max-clients" if i + 1 < argv.len() => {
+                match argv[i + 1].parse::<usize>() {
+                    Ok(n) if n >= 1 => reactor_opts.max_clients = n,
+                    _ => return usage(),
+                }
+                i += 2;
+            }
+            #[cfg(target_os = "linux")]
+            "--max-pending-bytes" if i + 1 < argv.len() => {
+                match argv[i + 1].parse::<usize>() {
+                    Ok(n) => reactor_opts.pending_budget_bytes = n,
+                    Err(_) => return usage(),
+                }
+                i += 2;
+            }
+            #[cfg(target_os = "linux")]
+            "--drain-ms" if i + 1 < argv.len() => {
+                match argv[i + 1].parse::<u64>() {
+                    Ok(ms) => reactor_opts.drain_timeout = Duration::from_millis(ms),
                     Err(_) => return usage(),
                 }
                 i += 2;
@@ -139,7 +211,12 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
-    if stdio && socket.is_some() {
+    let socket_mode = socket.is_some() || listen_tcp.is_some();
+    if stdio && socket_mode {
+        return usage();
+    }
+    if threaded && (listen_tcp.is_some() || socket.is_none()) {
+        // The legacy mode only ever spoke Unix sockets.
         return usage();
     }
     if want_cache {
@@ -151,23 +228,35 @@ fn main() -> ExitCode {
             }
         }
     }
-    let result = match socket {
+    let result = if !socket_mode {
+        e9proto::server::serve_stdio_with(&config)
+    } else if threaded {
         #[cfg(unix)]
-        Some(path) => {
-            let path = std::path::PathBuf::from(path);
+        {
+            let path = std::path::PathBuf::from(socket.expect("checked"));
             eprintln!(
-                "e9patchd: listening on {} (protocol version {})",
+                "e9patchd: listening on {} (threaded, protocol version {})",
                 path.display(),
                 e9proto::PROTOCOL_VERSION
             );
             e9proto::server::unix::serve_unix_with(&path, max_conns, &config)
         }
         #[cfg(not(unix))]
-        Some(_) => {
+        {
             eprintln!("e9patchd: --socket is only supported on Unix");
             return ExitCode::from(2);
         }
-        None => e9proto::server::serve_stdio_with(&config),
+    } else {
+        #[cfg(target_os = "linux")]
+        {
+            reactor_opts.accept_budget = max_conns;
+            serve_reactor_mode(socket.as_deref(), listen_tcp.as_deref(), &config, &reactor_opts)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            eprintln!("e9patchd: socket modes need Linux (epoll); use --stdio");
+            return ExitCode::from(2);
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -176,4 +265,45 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Bind the requested listeners, announce them on stderr (the TCP line
+/// prints the *resolved* address, so `--listen-tcp 127.0.0.1:0` callers
+/// can parse the kernel-assigned port), and run the reactor.
+#[cfg(target_os = "linux")]
+fn serve_reactor_mode(
+    socket: Option<&str>,
+    listen_tcp: Option<&str>,
+    config: &ServeConfig,
+    opts: &e9proto::reactor::ReactorOptions,
+) -> std::io::Result<()> {
+    use e9loop::Listener;
+    let mut listeners = Vec::new();
+    let mut sock_path = None;
+    if let Some(path) = socket {
+        let path = std::path::PathBuf::from(path);
+        let _ = std::fs::remove_file(&path);
+        let l = std::os::unix::net::UnixListener::bind(&path)?;
+        eprintln!(
+            "e9patchd: listening on {} (reactor, protocol version {})",
+            path.display(),
+            e9proto::PROTOCOL_VERSION
+        );
+        sock_path = Some(path);
+        listeners.push(Listener::Unix(l));
+    }
+    if let Some(addr) = listen_tcp {
+        let l = std::net::TcpListener::bind(addr)?;
+        let local = l.local_addr()?;
+        eprintln!(
+            "e9patchd: listening on tcp {local} (reactor, protocol version {})",
+            e9proto::PROTOCOL_VERSION
+        );
+        listeners.push(Listener::Tcp(l));
+    }
+    let result = e9proto::reactor::serve_reactor(listeners, config, opts);
+    if let Some(path) = sock_path {
+        let _ = std::fs::remove_file(&path);
+    }
+    result.map(|_summary| ())
 }

@@ -6,6 +6,8 @@
 //! * [`ProtoClient::spawn`] — launch an `e9patchd` child and talk over its
 //!   stdio (the `e9tool patch --backend stdio` path);
 //! * [`ProtoClient::connect_unix`] — connect to a daemon's Unix socket;
+//! * [`ProtoClient::connect_tcp`] — connect to a daemon's TCP listener
+//!   (the `e9tool patch --backend tcp:addr:port` path);
 //! * [`ProtoClient::in_process`] — a loopback server thread over a socket
 //!   pair. Full wire fidelity (every byte crosses the serializer, parser
 //!   and session state machine) without process management; used by tests
@@ -154,6 +156,49 @@ impl ProtoClient {
         Err(last.expect("at least one connect attempt"))
     }
 
+    /// Connect to a daemon listening on TCP (`e9patchd --listen-tcp`).
+    ///
+    /// # Errors
+    ///
+    /// Address resolution or connection failures.
+    pub fn connect_tcp(addr: &str) -> Result<ProtoClient, ClientError> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        // One request line, one reply line: never wait for a full segment.
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone()?;
+        Ok(ProtoClient {
+            reader: BufReader::new(Box::new(stream)),
+            writer: Box::new(writer),
+            transport: Transport::Stream,
+            next_id: 0,
+        })
+    }
+
+    /// Connect to a daemon's TCP listener with the same bounded doubling
+    /// backoff as [`ProtoClient::connect_unix_retry`]: roughly 20 ms,
+    /// 40 ms, 80 ms, ... between attempts, capped at 1 s per wait and
+    /// `attempts` tries overall.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's connection failure.
+    pub fn connect_tcp_retry(addr: &str, attempts: u32) -> Result<ProtoClient, ClientError> {
+        let mut wait = std::time::Duration::from_millis(20);
+        let cap = std::time::Duration::from_secs(1);
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(wait);
+                wait = (wait * 2).min(cap);
+            }
+            match ProtoClient::connect_tcp(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one connect attempt"))
+    }
+
     /// A loopback backend: a server thread on the far end of a socket
     /// pair. The thread exits when the client drops (EOF on its stream).
     ///
@@ -203,6 +248,14 @@ impl ProtoClient {
             .map_err(|e| ClientError::Protocol(e.to_string()))?;
         let resp = Response::decode(&value).map_err(ClientError::Protocol)?;
         if resp.id != Some(req.id) {
+            // Errors refused before parsing (oversized lines, BUSY load
+            // shedding) carry a null id; surface them as typed RPC
+            // errors, not a framing failure.
+            if resp.id.is_none() {
+                if let Err(e) = resp.body {
+                    return Err(ClientError::Rpc(e));
+                }
+            }
             return Err(ClientError::Protocol(format!(
                 "response id {:?} for request {}",
                 resp.id, req.id

@@ -19,6 +19,10 @@
 //!   the paper's S1 reverse-order batch semantics;
 //! * [`server`] — the serve loop: stdio sessions and a Unix-socket daemon
 //!   with one thread per connection;
+//! * [`reactor`] — the default serving mode (Linux): a single-threaded
+//!   epoll event loop (`e9loop`) multiplexing every connection, with
+//!   admission control and graceful drain; replies are byte-identical to
+//!   the threaded path;
 //! * [`client`] — the frontend side, used by `e9tool patch --backend`.
 //!
 //! The `e9patchd` binary wraps [`server`] as a standalone daemon.
@@ -37,6 +41,8 @@ pub mod cachekey;
 pub mod client;
 pub mod json;
 pub mod msg;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
 pub mod session;
 

@@ -56,6 +56,10 @@ pub mod code {
     /// command (panic isolation). The session survives; the command did
     /// not take effect.
     pub const INTERNAL: i64 = -6;
+    /// The server is over its admission or pending-byte budget and shed
+    /// this request (or this whole connection) instead of stalling. The
+    /// command did not take effect; retry against a less loaded server.
+    pub const BUSY: i64 = -7;
 }
 
 /// Lowercase hex encoding for binary payloads.

@@ -25,6 +25,13 @@
 #      bench run must show the warm memory hit beating the uncached
 #      rewrite at the largest rung (the hot-path perf gate; the committed
 #      results/bench_cache.json is restored afterwards)
+#   8. serving core: the reactor (default) and legacy --threaded daemons
+#      must patch byte-identically (and match the in-process output), the
+#      TCP transport must serve a full job through e9tool --backend tcp:,
+#      a seeded loop-surface fault campaign (hostile client behaviors
+#      against a live reactor) must pass, and the bench_serve smoke runs
+#      512 concurrent sessions against both serving modes with every
+#      client asserting byte-identity against an in-process reference
 #
 # Knobs: E9QCHECK_CASES scales property-test depth (default 64);
 # E9_SEED pins the generator seed used by step 3's CLI runs;
@@ -143,5 +150,44 @@ if ! awk -v w="$warm" -v u="$uncached" 'BEGIN { exit !(w < u) }'; then
   exit 1
 fi
 echo "perf gate: warm hit ($warm ns) beats uncached rewrite ($uncached ns) at $top_rung"
+
+echo "== serving core: reactor vs threaded byte-identity =="
+rsock="$tmp/e9.reactor.sock"
+tsock="$tmp/e9.threaded.sock"
+target/release/e9patchd --socket "$rsock" --max-conns 1 &
+rpid=$!
+target/release/e9patchd --socket "$tsock" --threaded --max-conns 1 &
+tpid=$!
+for _ in $(seq 1 100); do
+  [ -S "$rsock" ] && [ -S "$tsock" ] && break
+  sleep 0.05
+done
+[ -S "$rsock" ] && [ -S "$tsock" ] \
+  || { echo "serving-core daemons never bound their sockets" >&2; exit 1; }
+"${e9tool[@]}" patch "$tmp/a.elf" -o "$tmp/a.reactor.e9" --app a1 --backend "$rsock"
+"${e9tool[@]}" patch "$tmp/a.elf" -o "$tmp/a.threaded.e9" --app a1 --backend "$tsock"
+wait "$rpid"
+wait "$tpid"
+cmp "$tmp/a.reactor.e9" "$tmp/a.threaded.e9"
+cmp "$tmp/a.e9" "$tmp/a.reactor.e9"
+echo "reactor and threaded outputs byte-identical (and match in-process): ok"
+
+echo "== serving core: TCP transport =="
+target/release/e9patchd --listen-tcp 127.0.0.1:0 --max-conns 1 2>"$tmp/tcp.log" &
+tcppid=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on tcp" "$tmp/tcp.log" && break
+  sleep 0.05
+done
+addr="$(sed -n 's/.*listening on tcp \([^ ]*\) .*/\1/p' "$tmp/tcp.log")"
+[ -n "$addr" ] || { echo "daemon never announced its TCP address" >&2; exit 1; }
+"${e9tool[@]}" patch "$tmp/a.elf" -o "$tmp/a.tcp.e9" --app a1 --backend "tcp:$addr"
+wait "$tcppid"
+cmp "$tmp/a.e9" "$tmp/a.tcp.e9"
+echo "tcp backend output byte-identical to in-process: ok"
+
+echo "== serving core: loop fault campaign + 512-connection smoke =="
+target/release/e9fault --seed "${E9FAULT_SEED:-42}" --surface loop --loop-cases 24
+cargo bench -q --offline -p e9bench --bench serve -- --smoke --no-json
 
 echo "ALL CHECKS PASSED"
