@@ -42,6 +42,12 @@ pub const MAGIC: &[u8; 8] = b"E9CACHE1";
 /// Fixed header length: magic + payload checksum.
 const HEADER_LEN: usize = 8 + 32;
 
+/// Most files kept under `corrupt/`. Quarantine preserves evidence for
+/// postmortems, but a store fed sustained corruption (bad RAM, a dying
+/// disk) must not leak unbounded space on *top* of the damage — past
+/// the cap the oldest evidence is dropped first.
+pub const QUARANTINE_CAP: usize = 32;
+
 /// The on-disk content-addressed store.
 #[derive(Debug)]
 pub struct DiskStore {
@@ -111,6 +117,7 @@ impl DiskStore {
     /// already been quarantined); [`CacheError::Io`] for transport-level
     /// failures. A missing entry is `Ok(None)`, not an error.
     pub fn get(&self, key: &Digest) -> Result<Option<Blob>, CacheError> {
+        e9failpt::fail_io("cache.disk.read").map_err(|e| CacheError::io("read cache entry", e))?;
         let path = self.object_path(key);
         let raw = match fs::read(&path) {
             Ok(raw) => raw,
@@ -155,6 +162,7 @@ impl DiskStore {
             std::process::id()
         ));
         let staged: io::Result<()> = (|| {
+            e9failpt::fail_io("cache.disk.stage")?;
             let mut f = fs::File::create(&tmp)?;
             f.write_all(MAGIC)?;
             f.write_all(&sha256::digest(payload))?;
@@ -165,7 +173,8 @@ impl DiskStore {
             let _ = fs::remove_file(&tmp);
             return Err(CacheError::io("stage cache entry", e));
         }
-        if let Err(e) = fs::rename(&tmp, &path) {
+        let published = e9failpt::fail_io("cache.disk.publish").and_then(|()| fs::rename(&tmp, &path));
+        if let Err(e) = published {
             let _ = fs::remove_file(&tmp);
             return Err(CacheError::io("publish cache entry", e));
         }
@@ -180,15 +189,48 @@ impl DiskStore {
 
     /// Move a bad entry to `corrupt/<digest>`; `true` when the evidence
     /// was preserved (falls back to deletion so a bad entry can never be
-    /// served twice either way).
+    /// served twice either way). The quarantine directory is bounded at
+    /// [`QUARANTINE_CAP`] files — oldest evidence is dropped first.
     fn quarantine(&self, key: &Digest, path: &Path) -> bool {
         let _ = fs::create_dir_all(self.corrupt_dir());
+        self.prune_quarantine();
         let dest = self.corrupt_dir().join(sha256::hex(key));
-        if fs::rename(path, &dest).is_ok() {
+        let moved = e9failpt::fail_io("cache.disk.quarantine")
+            .and_then(|()| fs::rename(path, &dest));
+        if moved.is_ok() {
             true
         } else {
             let _ = fs::remove_file(path);
             false
+        }
+    }
+
+    /// Drop oldest quarantined files until there is room for one more
+    /// under [`QUARANTINE_CAP`]. Best-effort: pruning failures only cost
+    /// disk space, never correctness.
+    fn prune_quarantine(&self) {
+        let Ok(dir) = fs::read_dir(self.corrupt_dir()) else {
+            return;
+        };
+        let mut files: Vec<(SystemTime, PathBuf)> = dir
+            .flatten()
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                meta.is_file().then(|| {
+                    (
+                        meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                        e.path(),
+                    )
+                })
+            })
+            .collect();
+        if files.len() < QUARANTINE_CAP {
+            return;
+        }
+        files.sort_by_key(|(mtime, _)| *mtime);
+        let excess = files.len() + 1 - QUARANTINE_CAP;
+        for (_, path) in files.into_iter().take(excess) {
+            let _ = fs::remove_file(path);
         }
     }
 
@@ -295,6 +337,7 @@ impl DiskStore {
         let Some(budget) = self.budget else {
             return Ok(0);
         };
+        e9failpt::fail_io("cache.disk.evict").map_err(|e| CacheError::io("evict pass", e))?;
         let Some(_lock) = DirLock::try_acquire(&self.lock_path(), self.lock_ttl) else {
             return Ok(0);
         };
@@ -541,6 +584,29 @@ mod tests {
         let (entries, bytes) = store.usage().unwrap();
         assert_eq!(entries, 1);
         assert!(bytes <= 150);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn quarantine_stays_bounded_under_repeated_corruption() {
+        let root = tmproot("qcap");
+        let store = DiskStore::open(&root, None).unwrap();
+        // Sustained corruption — more bad entries than the cap.
+        for i in 0..QUARANTINE_CAP + 8 {
+            let key = digest(&(i as u64).to_le_bytes());
+            store.put(&key, b"payload").unwrap();
+            let path = store.object_path(&key);
+            let mut raw = fs::read(&path).unwrap();
+            let last = raw.len() - 1;
+            raw[last] ^= 0xFF;
+            fs::write(&path, &raw).unwrap();
+            assert!(matches!(store.get(&key), Err(CacheError::Corrupt { .. })));
+            let kept = fs::read_dir(store.corrupt_dir()).unwrap().flatten().count();
+            assert!(kept <= QUARANTINE_CAP, "quarantine grew past the cap: {kept}");
+        }
+        // Evidence is still being kept, just bounded.
+        let kept = fs::read_dir(store.corrupt_dir()).unwrap().flatten().count();
+        assert!(kept > 0);
         fs::remove_dir_all(&root).ok();
     }
 

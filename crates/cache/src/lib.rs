@@ -48,11 +48,13 @@
 //! inputs). Decisions are counted in [`CacheStats::bypasses`] and the
 //! effective threshold is reported as [`CacheStats::bypass_threshold`].
 
+pub mod breaker;
 pub mod disk;
 pub mod mem;
 pub mod sha256;
 pub mod tree;
 
+pub use breaker::{Breaker, BreakerStats};
 pub use sha256::{digest, Digest, Sha256};
 
 use std::fmt;
@@ -352,13 +354,24 @@ pub struct CacheStats {
     /// The effective (hit-rate-adapted) bypass threshold at snapshot
     /// time, in input bytes; 0 means bypassing is disabled.
     pub bypass_threshold: u64,
+    /// True while the disk tier's circuit breaker is open (the tier is
+    /// being skipped and the cache is effectively memory-only).
+    pub disk_breaker_open: bool,
+    /// Closed → open transitions of the disk-tier breaker.
+    pub disk_breaker_trips: u64,
+    /// Disk operations skipped while the breaker was open.
+    pub disk_breaker_fast_fails: u64,
+    /// Probe writes admitted while the breaker was open.
+    pub disk_breaker_probes: u64,
+    /// Open → closed transitions (successful probes).
+    pub disk_breaker_recoveries: u64,
 }
 
 impl CacheStats {
     /// One-line human summary, in the `PatchStats::summary` style.
     pub fn summary(&self) -> String {
         format!(
-            "cache: {} hits ({} mem, {} disk, {} negative), {} misses, {} bypasses (threshold {} B), {} stores, {} evictions ({} mem, {} disk), {} verify failures, {} errors",
+            "cache: {} hits ({} mem, {} disk, {} negative), {} misses, {} bypasses (threshold {} B), {} stores, {} evictions ({} mem, {} disk), {} verify failures, {} errors, breaker {} ({} trips, {} fast-fails, {} probes, {} recoveries)",
             self.hits,
             self.mem_hits,
             self.disk_hits,
@@ -372,6 +385,11 @@ impl CacheStats {
             self.disk_evictions,
             self.verify_failures,
             self.errors,
+            if self.disk_breaker_open { "open" } else { "closed" },
+            self.disk_breaker_trips,
+            self.disk_breaker_fast_fails,
+            self.disk_breaker_probes,
+            self.disk_breaker_recoveries,
         )
     }
 }
@@ -403,6 +421,8 @@ pub struct Cache {
     counters: Counters,
     /// Base bypass threshold (0 = bypassing disabled).
     bypass_base: u64,
+    /// Disk-tier circuit breaker (only consulted when `disk` exists).
+    breaker: breaker::Breaker,
 }
 
 impl Cache {
@@ -423,6 +443,7 @@ impl Cache {
             disk,
             counters: Counters::default(),
             bypass_base: config.bypass_bytes.unwrap_or(DEFAULT_BYPASS_BYTES),
+            breaker: breaker::Breaker::new(),
         })
     }
 
@@ -501,23 +522,35 @@ impl Cache {
             tick(&self.counters.misses);
             return None;
         };
+        if self.breaker.admit(breaker::OpKind::Read) == breaker::Admit::Skip {
+            // Breaker open: memory-only mode, fast miss without a
+            // syscall. (Reads never probe — only a write success is
+            // evidence of recovery; see the breaker module docs.)
+            tick(&self.counters.misses);
+            return None;
+        }
         match disk.get(key) {
             Ok(Some(payload)) => {
+                self.breaker.record_ok(breaker::OpKind::Read);
                 // Promotion shares the read buffer: the LRU clone below
                 // is a refcount bump, not a copy.
                 self.mem().insert(*key, payload.clone());
                 self.decoded_hit(key, &payload, false)
             }
             Ok(None) => {
+                self.breaker.record_ok(breaker::OpKind::Read);
                 tick(&self.counters.misses);
                 None
             }
             Err(CacheError::Corrupt { .. }) => {
+                // Data damage, not environment damage: the read itself
+                // worked, so the breaker is not fed.
                 tick(&self.counters.verify_failures);
                 tick(&self.counters.misses);
                 None
             }
             Err(CacheError::Io { .. }) => {
+                self.breaker.record_io_error();
                 tick(&self.counters.errors);
                 tick(&self.counters.misses);
                 None
@@ -565,11 +598,19 @@ impl Cache {
         self.mem().insert(*key, payload.clone());
         tick(&self.counters.stores);
         if let Some(disk) = &self.disk {
+            if self.breaker.admit(breaker::OpKind::Write) == breaker::Admit::Skip {
+                return; // memory-only mode; the probe cadence lets one through
+            }
             match disk.put(key, &payload) {
                 Ok(evicted) => {
+                    self.breaker.record_ok(breaker::OpKind::Write);
                     self.counters
                         .disk_evictions
                         .fetch_add(evicted, Ordering::Relaxed);
+                }
+                Err(CacheError::Io { .. }) => {
+                    self.breaker.record_io_error();
+                    tick(&self.counters.errors);
                 }
                 Err(_) => tick(&self.counters.errors),
             }
@@ -593,6 +634,13 @@ impl Cache {
         self.disk.is_some()
     }
 
+    /// The disk tier's circuit breaker (closed and idle when no disk
+    /// tier is configured). Exposed so tests and fault campaigns can
+    /// assert the trip/probe/recover cycle directly.
+    pub fn disk_breaker(&self) -> &breaker::Breaker {
+        &self.breaker
+    }
+
     /// Snapshot the counters.
     pub fn stats(&self) -> CacheStats {
         let c = &self.counters;
@@ -600,6 +648,7 @@ impl Cache {
             let mem = self.mem();
             (mem.len() as u64, mem.bytes() as u64, mem.evictions())
         };
+        let breaker = self.breaker.stats();
         CacheStats {
             hits: c.hits.load(Ordering::Relaxed),
             mem_hits: c.mem_hits.load(Ordering::Relaxed),
@@ -615,6 +664,11 @@ impl Cache {
             mem_bytes,
             bypasses: c.bypasses.load(Ordering::Relaxed),
             bypass_threshold: self.bypass_threshold(),
+            disk_breaker_open: breaker.open,
+            disk_breaker_trips: breaker.trips,
+            disk_breaker_fast_fails: breaker.fast_fails,
+            disk_breaker_probes: breaker.probes,
+            disk_breaker_recoveries: breaker.recoveries,
         }
     }
 }

@@ -22,8 +22,8 @@ fn usage() -> ExitCode {
 
 USAGE:
   e9fault [--seed N] [--elf-cases N] [--wire-cases N] [--cache-cases N]
-          [--loop-cases N] [--jobs N]
-  e9fault --surface elf|wire|cache|loop --case N [--seed N] [--jobs N]
+          [--loop-cases N] [--io-cases N] [--jobs N]
+  e9fault --surface elf|wire|cache|loop|io --case N [--seed N] [--jobs N]
                                                    replay one case
   e9fault --write-corpus DIR                       regenerate hostile ELFs
 
@@ -34,6 +34,10 @@ journal, asserting typed errors, quarantine and cold-path recovery.
 The loop surface runs hostile client behaviors (slow-loris, partial
 lines, mid-poll disconnects, never-reading queue-fillers) against a real
 reactor, asserting it never panics and healthy connections stay served.
+The io surface injects environmental faults (ENOSPC, EIO, EINTR, short
+writes, failed renames) at real syscall sites through e9failpt while
+full rewrite jobs run against live daemons: every fault must surface as
+a typed error or a byte-identical degraded result.
 The seed defaults to ${ENV_SEED} (then 42). Exit 1 if any case panics."
     );
     ExitCode::from(2)
@@ -75,6 +79,20 @@ fn replay(seed: u64, surface: Surface, case: u32, jobs: Option<usize>) -> ExitCo
         #[cfg(not(target_os = "linux"))]
         Surface::Loop => {
             eprintln!("e9fault: the loop surface needs Linux (epoll reactor)");
+            return ExitCode::from(2);
+        }
+        #[cfg(target_os = "linux")]
+        Surface::Io => {
+            let root = std::env::temp_dir().join(format!(
+                "e9fault-io-replay-{}-{case}",
+                std::process::id()
+            ));
+            eprintln!("e9fault: replaying io case {case} in {}", root.display());
+            e9faultgen::io::io_case(&mut rng, &root)
+        }
+        #[cfg(not(target_os = "linux"))]
+        Surface::Io => {
+            eprintln!("e9fault: the io surface needs Linux (epoll reactor)");
             return ExitCode::from(2);
         }
     };
@@ -128,6 +146,9 @@ fn main() -> ExitCode {
     // Each loop case boots a real reactor + hostile clients, so the
     // default stays modest to bound campaign wall time.
     let mut loop_cases = 24u32;
+    // Io cases boot real daemons and drive whole rewrite jobs; same
+    // wall-time reasoning.
+    let mut io_cases = 24u32;
     let mut surface: Option<Surface> = None;
     let mut case: Option<u32> = None;
     let mut corpus_dir: Option<String> = None;
@@ -171,6 +192,13 @@ fn main() -> ExitCode {
                 }
                 None => return usage(),
             },
+            "--io-cases" => match take(i).and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    io_cases = v;
+                    i += 2;
+                }
+                None => return usage(),
+            },
             "--surface" => match take(i).as_deref() {
                 Some("elf") => {
                     surface = Some(Surface::Elf);
@@ -186,6 +214,10 @@ fn main() -> ExitCode {
                 }
                 Some("loop") => {
                     surface = Some(Surface::Loop);
+                    i += 2;
+                }
+                Some("io") => {
+                    surface = Some(Surface::Io);
                     i += 2;
                 }
                 _ => return usage(),
@@ -234,9 +266,11 @@ fn main() -> ExitCode {
         Some(Surface::Cache) => reports.push(e9faultgen::run_cache_campaign(seed, cache_cases)),
         #[cfg(target_os = "linux")]
         Some(Surface::Loop) => reports.push(e9faultgen::run_loop_campaign(seed, loop_cases)),
+        #[cfg(target_os = "linux")]
+        Some(Surface::Io) => reports.push(e9faultgen::run_io_campaign(seed, io_cases)),
         #[cfg(not(target_os = "linux"))]
-        Some(Surface::Loop) => {
-            eprintln!("e9fault: the loop surface needs Linux (epoll reactor)");
+        Some(Surface::Loop | Surface::Io) => {
+            eprintln!("e9fault: the loop and io surfaces need Linux (epoll reactor)");
             return ExitCode::from(2);
         }
         None => {
@@ -244,9 +278,12 @@ fn main() -> ExitCode {
             reports.push(e9faultgen::run_wire_campaign_with_jobs(seed, wire_cases, jobs));
             reports.push(e9faultgen::run_cache_campaign(seed, cache_cases));
             #[cfg(target_os = "linux")]
-            reports.push(e9faultgen::run_loop_campaign(seed, loop_cases));
+            {
+                reports.push(e9faultgen::run_loop_campaign(seed, loop_cases));
+                reports.push(e9faultgen::run_io_campaign(seed, io_cases));
+            }
             #[cfg(not(target_os = "linux"))]
-            let _ = loop_cases;
+            let _ = (loop_cases, io_cases);
         }
     }
     finish(&reports)

@@ -32,6 +32,8 @@ pub mod cache;
 pub mod corpus;
 pub mod elf;
 #[cfg(target_os = "linux")]
+pub mod io;
+#[cfg(target_os = "linux")]
 pub mod loopgen;
 pub mod wire;
 
@@ -61,6 +63,10 @@ pub enum Surface {
     /// Hostile client behaviors (timing + socket discipline) against the
     /// reactor serving loop.
     Loop,
+    /// Environmental I/O faults (ENOSPC, EIO, EINTR, short writes,
+    /// failed renames) injected through the `e9failpt` registry while
+    /// full rewrite jobs run against live daemons.
+    Io,
 }
 
 impl Surface {
@@ -70,16 +76,18 @@ impl Surface {
             Surface::Wire => 0x5749_5245_5355_5246, // "WIRESURF"
             Surface::Cache => 0x4341_4348_4553_5246, // "CACHESRF"
             Surface::Loop => 0x4C4F_4F50_5355_5246, // "LOOPSURF"
+            Surface::Io => 0x0049_4F5F_5355_5246, // "IO_SURF"
         }
     }
 
-    /// Command-line name (`elf` / `wire` / `cache` / `loop`).
+    /// Command-line name (`elf` / `wire` / `cache` / `loop` / `io`).
     pub fn name(self) -> &'static str {
         match self {
             Surface::Elf => "elf",
             Surface::Wire => "wire",
             Surface::Cache => "cache",
             Surface::Loop => "loop",
+            Surface::Io => "io",
         }
     }
 }
@@ -268,6 +276,30 @@ pub fn run_loop_campaign(seed: u64, cases: u32) -> CampaignReport {
         let sock = base.join(format!("case{case_no}.sock"));
         case_no += 1;
         loopgen::loop_case(rng, &sock)
+    });
+    let _ = std::fs::remove_dir_all(&base);
+    report
+}
+
+/// Run `cases` seeded environmental-I/O campaigns: each case activates
+/// a seeded failpoint schedule (ENOSPC / EIO / EINTR / short writes /
+/// failed renames at real syscall sites) and drives full rewrite jobs
+/// against live daemons, asserting typed errors or byte-identical
+/// degraded results — never a panic, torn file or wedged daemon (see
+/// [`io::io_case`]). Failpoints are process-global, so cases run
+/// strictly one at a time behind the `e9failpt` scope gate.
+#[cfg(target_os = "linux")]
+pub fn run_io_campaign(seed: u64, cases: u32) -> CampaignReport {
+    let base = std::env::temp_dir().join(format!(
+        "e9fault-io-{}-{seed:x}",
+        std::process::id()
+    ));
+    let _ = std::fs::create_dir_all(&base);
+    let mut case_no = 0u32;
+    let report = run_campaign(Surface::Io, seed, cases, |rng| {
+        let root = base.join(format!("case{case_no}"));
+        case_no += 1;
+        io::io_case(rng, &root)
     });
     let _ = std::fs::remove_dir_all(&base);
     report

@@ -27,6 +27,7 @@ USAGE:
               [--backend stdio|/path/to.sock|tcp:ADDR:PORT]
               [--cache-dir DIR | --no-cache] [--cache-bypass-bytes N]
   e9tool run  BINARY [--lowfat] [--max-steps N] [--hex-output]
+  e9tool health --backend /path/to.sock|tcp:ADDR:PORT|stdio [--json]
 
 `gen --profile` accepts any Table 1 row name (perlbench, gcc, chrome, ...).
 `patch --backend` drives the rewrite through an e9patchd backend over the
@@ -39,7 +40,11 @@ cache at DIR ($E9CACHE_DIR provides a default; --no-cache disables both).
 A hit is byte-identical to a cold rewrite. Inputs below the bypass
 threshold (--cache-bypass-bytes N or $E9CACHE_BYPASS_BYTES, default
 131072; 0 caches every size) skip the cache entirely — for tiny binaries
-the rewrite is cheaper than keying it."
+the rewrite is cheaper than keying it.
+`health` asks a live daemon for its health surface — serving mode, cache
+tier state (including the disk circuit breaker), overload-shed counters
+and fault-injection status. It needs no version handshake, so it works
+against any daemon the protocol can reach; --json prints the raw reply."
     );
     ExitCode::from(2)
 }
@@ -541,6 +546,55 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_health(args: &Args) -> Result<(), String> {
+    args.check_flags(&["backend", "json"])?;
+    let spec = args
+        .value("backend")
+        .ok_or("health wants --backend (socket path, tcp:ADDR:PORT or stdio)")?;
+    let mut client = backend_client(spec)?;
+    let reply = client.health().map_err(|e| e.to_string())?;
+    if args.flag("json") {
+        println!("{}", reply.to_json().serialize());
+        return Ok(());
+    }
+    println!("{}", reply.summary());
+    println!("  serving mode:  {}", reply.serving_mode);
+    println!(
+        "  shed:          {} at admission, {} busy replies",
+        reply.shed_admission, reply.shed_busy
+    );
+    if reply.faults_enabled {
+        println!(
+            "  faults:        enabled, {} injected, spec {:?}",
+            reply.faults_injected, reply.fault_spec
+        );
+    } else {
+        println!("  faults:        disabled");
+    }
+    if reply.cache.enabled {
+        let s = &reply.cache.stats;
+        println!(
+            "  cache:         enabled, disk tier {}",
+            if reply.cache.disk { "on" } else { "off" }
+        );
+        println!(
+            "  cache breaker: {} ({} trips, {} recoveries, {} fast-fails, {} probes)",
+            if s.disk_breaker_open {
+                "OPEN — memory-only degraded mode"
+            } else {
+                "closed"
+            },
+            s.disk_breaker_trips,
+            s.disk_breaker_recoveries,
+            s.disk_breaker_fast_fails,
+            s.disk_breaker_probes,
+        );
+    } else {
+        println!("  cache:         disabled");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first().map(|s| s.as_str()) else {
@@ -553,6 +607,7 @@ fn main() -> ExitCode {
         "disasm" => cmd_disasm(&args),
         "patch" => cmd_patch(&args),
         "run" => cmd_run(&args),
+        "health" => cmd_health(&args),
         _ => return usage(),
     };
     match result {

@@ -13,6 +13,7 @@
 //! between the two steps leaves only a `.e9tmp` droppings file, never a
 //! damaged destination.
 
+use e9failpt::retry::{retry_interrupted, EINTR_BUDGET};
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -38,9 +39,10 @@ fn stage_path(path: &Path) -> PathBuf {
 pub fn stage(path: &Path, bytes: &[u8]) -> io::Result<PathBuf> {
     let tmp = stage_path(path);
     let result = (|| {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()
+        e9failpt::fail_io("front.output.stage")?;
+        let mut f = retry_interrupted(EINTR_BUDGET, || fs::File::create(&tmp))?;
+        write_all_resilient(&mut f, bytes)?;
+        retry_interrupted(EINTR_BUDGET, || f.sync_all())
     })();
     match result {
         Ok(()) => Ok(tmp),
@@ -51,6 +53,29 @@ pub fn stage(path: &Path, bytes: &[u8]) -> io::Result<PathBuf> {
     }
 }
 
+/// `write_all` with explicit short-write handling and a bounded EINTR
+/// retry budget, so a signal-heavy environment (profilers, debuggers,
+/// container runtimes delivering SIGCHLD storms) cannot fail a finished
+/// rewrite. Short writes only ever shrink the remaining slice, so the
+/// loop makes ≥ 1 byte of progress per iteration and terminates.
+fn write_all_resilient(f: &mut fs::File, mut bytes: &[u8]) -> io::Result<()> {
+    while !bytes.is_empty() {
+        let want = bytes.len();
+        let n = retry_interrupted(EINTR_BUDGET, || {
+            let admitted = e9failpt::write_len("front.output.write", want)?;
+            f.write(&bytes[..admitted])
+        })?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "file write made no progress",
+            ));
+        }
+        bytes = &bytes[n..];
+    }
+    Ok(())
+}
+
 /// Commit a staged file over `path` (atomic rename), then best-effort
 /// flush the directory entry.
 ///
@@ -59,7 +84,7 @@ pub fn stage(path: &Path, bytes: &[u8]) -> io::Result<PathBuf> {
 /// Rename failures; on failure the staging file is removed again and the
 /// previous contents of `path` (if any) are untouched.
 pub fn commit(tmp: &Path, path: &Path) -> io::Result<()> {
-    if let Err(e) = fs::rename(tmp, path) {
+    if let Err(e) = e9failpt::fail_io("front.output.commit").and_then(|()| fs::rename(tmp, path)) {
         let _ = fs::remove_file(tmp);
         return Err(e);
     }

@@ -98,6 +98,19 @@ OPTIONS:
 }
 
 fn main() -> ExitCode {
+    // Fault injection ships in release builds but stays inert (one
+    // relaxed atomic load per I/O boundary) unless E9FAILPOINTS is set.
+    match e9failpt::init_from_env() {
+        Ok(true) => eprintln!(
+            "e9patchd: fault injection active: {}",
+            e9failpt::active_spec().unwrap_or_default()
+        ),
+        Ok(false) => {}
+        Err(e) => {
+            eprintln!("e9patchd: bad {}: {e}", e9failpt::ENV_SPEC);
+            return ExitCode::from(2);
+        }
+    }
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut socket: Option<String> = None;
     let mut listen_tcp: Option<String> = None;
@@ -229,10 +242,12 @@ fn main() -> ExitCode {
         }
     }
     let result = if !socket_mode {
+        config.serving_mode = "stdio";
         e9proto::server::serve_stdio_with(&config)
     } else if threaded {
         #[cfg(unix)]
         {
+            config.serving_mode = "threaded";
             let path = std::path::PathBuf::from(socket.expect("checked"));
             eprintln!(
                 "e9patchd: listening on {} (threaded, protocol version {})",
@@ -249,6 +264,7 @@ fn main() -> ExitCode {
     } else {
         #[cfg(target_os = "linux")]
         {
+            config.serving_mode = "reactor";
             reactor_opts.accept_budget = max_conns;
             serve_reactor_mode(socket.as_deref(), listen_tcp.as_deref(), &config, &reactor_opts)
         }

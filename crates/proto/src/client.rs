@@ -14,8 +14,9 @@
 //!   and benchmarks.
 
 use crate::json;
-use crate::msg::{CacheAction, CacheStatsReply, Command, EmitReply, Request, Response, RpcError,
-                 PROTOCOL_VERSION};
+use crate::msg::{CacheAction, CacheStatsReply, Command, EmitReply, HealthReply, Request,
+                 Response, RpcError, PROTOCOL_VERSION};
+use e9failpt::retry::{retry_interrupted, with_backoff, Backoff, EINTR_BUDGET};
 use e9patch::{ExtraSegment, Template};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::path::PathBuf;
@@ -113,6 +114,7 @@ impl ProtoClient {
     /// Connection failures.
     #[cfg(unix)]
     pub fn connect_unix(path: &std::path::Path) -> Result<ProtoClient, ClientError> {
+        e9failpt::fail_io("proto.client.connect")?;
         let stream = std::os::unix::net::UnixStream::connect(path)?;
         let writer = stream.try_clone()?;
         Ok(ProtoClient {
@@ -123,14 +125,12 @@ impl ProtoClient {
         })
     }
 
-    /// Connect to a daemon's Unix socket, retrying with bounded doubling
-    /// backoff while the daemon is still starting up (socket file absent
-    /// or not yet listening).
-    ///
-    /// Sleeps roughly 20 ms, 40 ms, 80 ms, ... between attempts, capped
-    /// at 1 s per wait and `attempts` tries overall, so a daemon that
-    /// never comes up fails the connect in bounded time instead of
-    /// hanging the frontend.
+    /// Connect to a daemon's Unix socket, retrying on the shared
+    /// [`Backoff::standard`] schedule while the daemon is still starting
+    /// up (socket file absent or not yet listening): roughly 20 ms,
+    /// 40 ms, 80 ms, ... between attempts, capped at 1 s per wait and
+    /// `attempts` tries overall, so a daemon that never comes up fails
+    /// the connect in bounded time instead of hanging the frontend.
     ///
     /// # Errors
     ///
@@ -140,20 +140,9 @@ impl ProtoClient {
         path: &std::path::Path,
         attempts: u32,
     ) -> Result<ProtoClient, ClientError> {
-        let mut wait = std::time::Duration::from_millis(20);
-        let cap = std::time::Duration::from_secs(1);
-        let mut last = None;
-        for attempt in 0..attempts.max(1) {
-            if attempt > 0 {
-                std::thread::sleep(wait);
-                wait = (wait * 2).min(cap);
-            }
-            match ProtoClient::connect_unix(path) {
-                Ok(client) => return Ok(client),
-                Err(e) => last = Some(e),
-            }
-        }
-        Err(last.expect("at least one connect attempt"))
+        with_backoff(Backoff::standard(attempts as usize), || {
+            ProtoClient::connect_unix(path)
+        })
     }
 
     /// Connect to a daemon listening on TCP (`e9patchd --listen-tcp`).
@@ -162,6 +151,7 @@ impl ProtoClient {
     ///
     /// Address resolution or connection failures.
     pub fn connect_tcp(addr: &str) -> Result<ProtoClient, ClientError> {
+        e9failpt::fail_io("proto.client.connect")?;
         let stream = std::net::TcpStream::connect(addr)?;
         // One request line, one reply line: never wait for a full segment.
         let _ = stream.set_nodelay(true);
@@ -174,29 +164,17 @@ impl ProtoClient {
         })
     }
 
-    /// Connect to a daemon's TCP listener with the same bounded doubling
-    /// backoff as [`ProtoClient::connect_unix_retry`]: roughly 20 ms,
-    /// 40 ms, 80 ms, ... between attempts, capped at 1 s per wait and
-    /// `attempts` tries overall.
+    /// Connect to a daemon's TCP listener on the same
+    /// [`Backoff::standard`] schedule as
+    /// [`ProtoClient::connect_unix_retry`].
     ///
     /// # Errors
     ///
     /// The final attempt's connection failure.
     pub fn connect_tcp_retry(addr: &str, attempts: u32) -> Result<ProtoClient, ClientError> {
-        let mut wait = std::time::Duration::from_millis(20);
-        let cap = std::time::Duration::from_secs(1);
-        let mut last = None;
-        for attempt in 0..attempts.max(1) {
-            if attempt > 0 {
-                std::thread::sleep(wait);
-                wait = (wait * 2).min(cap);
-            }
-            match ProtoClient::connect_tcp(addr) {
-                Ok(client) => return Ok(client),
-                Err(e) => last = Some(e),
-            }
-        }
-        Err(last.expect("at least one connect attempt"))
+        with_backoff(Backoff::standard(attempts as usize), || {
+            ProtoClient::connect_tcp(addr)
+        })
     }
 
     /// A loopback backend: a server thread on the far end of a socket
@@ -237,11 +215,25 @@ impl ProtoClient {
             id: self.next_id,
             cmd,
         };
-        self.writer.write_all(req.encode().as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+        let text = req.encode();
+        // Injection points fire *before* any bytes move, so a retried
+        // interrupt can never send half a request or splice two reads;
+        // real mid-stream EINTR is already absorbed inside
+        // `write_all`/`read_line`.
+        if let Err(err) = retry_interrupted(EINTR_BUDGET, || {
+            e9failpt::fail_io("proto.client.write")?;
+            self.writer.write_all(text.as_bytes())?;
+            self.writer.write_all(b"\n")?;
+            self.writer.flush()
+        }) {
+            return Err(self.reply_for_failed_write(err));
+        }
         let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
+        let n = retry_interrupted(EINTR_BUDGET, || {
+            e9failpt::fail_io("proto.client.read")?;
+            self.reader.read_line(&mut line)
+        })?;
+        if n == 0 {
             return Err(ClientError::Protocol("backend closed the connection".into()));
         }
         let value = json::parse(line.trim().as_bytes())
@@ -262,6 +254,43 @@ impl ProtoClient {
             )));
         }
         resp.body.map_err(ClientError::Rpc)
+    }
+
+    /// A write that dies because the peer closed often races a typed
+    /// in-band refusal: the server answers (BUSY shedding, oversized
+    /// LIMIT) and closes the connection before our request lands, so the
+    /// send fails while the refusal sits unread in our receive buffer. A
+    /// closed peer can never block a read — buffered bytes drain, then
+    /// EOF (or the reset surfaces as an error) — so pull one line and
+    /// return the typed error instead of the raw transport failure.
+    /// Anything other than a null-id error reply keeps the original
+    /// error: only pre-parse refusals are ownerless by design.
+    fn reply_for_failed_write(&mut self, err: std::io::Error) -> ClientError {
+        use std::io::ErrorKind;
+        if !matches!(
+            err.kind(),
+            ErrorKind::BrokenPipe | ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted
+        ) {
+            return ClientError::Io(err);
+        }
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(n) if n > 0 => {}
+            _ => return ClientError::Io(err),
+        }
+        let Ok(value) = json::parse(line.trim().as_bytes()) else {
+            return ClientError::Io(err);
+        };
+        let Ok(resp) = Response::decode(&value) else {
+            return ClientError::Io(err);
+        };
+        match resp {
+            Response {
+                id: None,
+                body: Err(e),
+            } => ClientError::Rpc(e),
+            _ => ClientError::Io(err),
+        }
     }
 
     /// Negotiate the protocol version (must be the first call).
@@ -396,6 +425,18 @@ impl ProtoClient {
         Ok(v.get("cleared").and_then(json::Json::as_bool).unwrap_or(false))
     }
 
+    /// Fetch the server's per-subsystem health snapshot (serving mode,
+    /// shed counters, fault injection, cache/breaker state). Works even
+    /// before [`negotiate`](ProtoClient::negotiate).
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtoClient::call`], plus reply-decoding failures.
+    pub fn health(&mut self) -> Result<HealthReply, ClientError> {
+        let v = self.call(Command::Health)?;
+        HealthReply::from_json(&v).map_err(ClientError::Protocol)
+    }
+
     /// Ask the backend to shut down.
     ///
     /// # Errors
@@ -450,6 +491,60 @@ mod tests {
         match err {
             ClientError::Rpc(e) => assert_eq!(e.code, crate::msg::code::STATE),
             other => panic!("expected rpc error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn health_answers_before_negotiation() {
+        let mut c = ProtoClient::in_process().unwrap();
+        // No negotiate(): health is the always-available probe.
+        let h = c.health().unwrap();
+        assert_eq!(h.serving_mode, "in-process");
+        assert!(!h.cache.enabled);
+        assert!(h.summary().starts_with("health: serving in-process"));
+        // The connection is still fresh enough to negotiate and work.
+        c.negotiate().unwrap();
+        c.health().unwrap();
+    }
+
+    /// A peer that refuses in-band and slams the connection shut before
+    /// the request even lands must still surface as the typed refusal,
+    /// not as the EPIPE the race produces. This is the admission-shed
+    /// race: the daemon writes one BUSY line and closes; whether our
+    /// version request wins or loses the write race, the caller sees
+    /// `Rpc(BUSY)`.
+    #[test]
+    #[cfg(unix)]
+    fn write_failure_drains_pending_typed_refusal() {
+        use std::os::unix::net::UnixStream;
+
+        let (ours, theirs) = UnixStream::pair().unwrap();
+        let refusal = Response::err(
+            None,
+            RpcError::new(crate::msg::code::BUSY, "server over capacity"),
+        );
+        {
+            let mut w = theirs.try_clone().unwrap();
+            let mut line = refusal.encode().into_bytes();
+            line.push(b'\n');
+            w.write_all(&line).unwrap();
+        }
+        drop(theirs); // guarantee the client's write hits a closed peer
+        let writer = ours.try_clone().unwrap();
+        let mut c = ProtoClient {
+            reader: BufReader::new(Box::new(ours)),
+            writer: Box::new(writer),
+            transport: Transport::Stream,
+            next_id: 0,
+        };
+        match c.negotiate().unwrap_err() {
+            ClientError::Rpc(e) => assert_eq!(e.code, crate::msg::code::BUSY),
+            other => panic!("expected typed BUSY, got {other:?}"),
+        }
+        // With nothing left to drain, the raw transport error survives.
+        match c.negotiate().unwrap_err() {
+            ClientError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::BrokenPipe),
+            other => panic!("expected io error, got {other:?}"),
         }
     }
 

@@ -160,6 +160,11 @@ pub enum Command {
         /// What to do.
         action: CacheAction,
     },
+    /// Report per-subsystem daemon health (serving mode, cache tiers and
+    /// breaker, shed counters, fault injection). Allowed in any session
+    /// state, including before `version` — an operator probing a wedged
+    /// or mid-upgrade daemon must not need a handshake first.
+    Health,
     /// Ask the server to stop accepting connections (daemon) or end the
     /// session (stdio).
     Shutdown,
@@ -205,6 +210,7 @@ impl Command {
             Command::Patch { .. } => "patch",
             Command::Emit => "emit",
             Command::Cache { .. } => "cache",
+            Command::Health => "health",
             Command::Shutdown => "shutdown",
         }
     }
@@ -256,7 +262,7 @@ impl Command {
                 ("template", template_to_json(template)),
             ]),
             Command::Cache { action } => obj(vec![("action", Json::Str(action.name().into()))]),
-            Command::Emit | Command::Shutdown => Json::Obj(Vec::new()),
+            Command::Emit | Command::Health | Command::Shutdown => Json::Obj(Vec::new()),
         }
     }
 }
@@ -433,6 +439,7 @@ impl Request {
                         })
                     })?,
             },
+            "health" => Command::Health,
             "shutdown" => Command::Shutdown,
             other => {
                 return Err(RpcError::new(
@@ -1106,6 +1113,17 @@ impl CacheStatsReply {
             ("mem_bytes", Json::Int(s.mem_bytes as i128)),
             ("bypasses", Json::Int(s.bypasses as i128)),
             ("bypass_threshold", Json::Int(s.bypass_threshold as i128)),
+            ("disk_breaker_open", Json::Bool(s.disk_breaker_open)),
+            ("disk_breaker_trips", Json::Int(s.disk_breaker_trips as i128)),
+            (
+                "disk_breaker_fast_fails",
+                Json::Int(s.disk_breaker_fast_fails as i128),
+            ),
+            ("disk_breaker_probes", Json::Int(s.disk_breaker_probes as i128)),
+            (
+                "disk_breaker_recoveries",
+                Json::Int(s.disk_breaker_recoveries as i128),
+            ),
         ])
     }
 
@@ -1147,8 +1165,144 @@ impl CacheStatsReply {
                     .get("bypass_threshold")
                     .and_then(Json::as_u64)
                     .unwrap_or(0),
+                // Tolerant: absent on pre-breaker servers.
+                disk_breaker_open: v
+                    .get("disk_breaker_open")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+                disk_breaker_trips: v
+                    .get("disk_breaker_trips")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                disk_breaker_fast_fails: v
+                    .get("disk_breaker_fast_fails")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                disk_breaker_probes: v
+                    .get("disk_breaker_probes")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                disk_breaker_recoveries: v
+                    .get("disk_breaker_recoveries")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
             },
         })
+    }
+}
+
+// ---- typed health reply --------------------------------------------------
+
+/// The fully-typed payload of a successful `health` response: which
+/// serving core is running, how much load it has shed, whether fault
+/// injection is active, and the cache/breaker snapshot. This is the
+/// operator's one-call view of every degradation the daemon can be in.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HealthReply {
+    /// Which serving core answered: `stdio`, `threaded`, `reactor`, or
+    /// `in-process` (no daemon at all).
+    pub serving_mode: String,
+    /// Connections refused at accept time (admission control).
+    pub shed_admission: u64,
+    /// Requests rejected with `BUSY` after admission.
+    pub shed_busy: u64,
+    /// Whether `e9failpt` fault injection is compiled-in *and* active.
+    pub faults_enabled: bool,
+    /// The active failpoint spec (empty when injection is inactive).
+    pub fault_spec: String,
+    /// Total faults injected since activation.
+    pub faults_injected: u64,
+    /// Cache + disk-breaker snapshot (same shape as `cache stats`).
+    pub cache: CacheStatsReply,
+}
+
+impl HealthReply {
+    /// Serialize to the `result` object of a `health` response.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("cache", self.cache.to_json()),
+            (
+                "faults",
+                obj(vec![
+                    ("enabled", Json::Bool(self.faults_enabled)),
+                    ("injected", Json::Int(self.faults_injected as i128)),
+                    ("spec", Json::Str(self.fault_spec.clone())),
+                ]),
+            ),
+            ("serving_mode", Json::Str(self.serving_mode.clone())),
+            (
+                "shed",
+                obj(vec![
+                    ("admission", Json::Int(self.shed_admission as i128)),
+                    ("busy", Json::Int(self.shed_busy as i128)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Decode the `result` object of a `health` response. Tolerant in
+    /// the same way as [`CacheStatsReply::from_json`]: unknown servers
+    /// may omit sections, which decode to their zero values — but a
+    /// malformed `cache` section is an error.
+    ///
+    /// # Errors
+    ///
+    /// A string description of the first malformed field.
+    pub fn from_json(v: &Json) -> Result<HealthReply, String> {
+        let cache = match v.get("cache") {
+            Some(c) => CacheStatsReply::from_json(c)?,
+            None => CacheStatsReply::default(),
+        };
+        let shed = v.get("shed");
+        let faults = v.get("faults");
+        let sub_u64 = |section: Option<&Json>, name: &str| {
+            section
+                .and_then(|s| s.get(name))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        Ok(HealthReply {
+            serving_mode: v
+                .get("serving_mode")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            shed_admission: sub_u64(shed, "admission"),
+            shed_busy: sub_u64(shed, "busy"),
+            faults_enabled: faults
+                .and_then(|f| f.get("enabled"))
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            fault_spec: faults
+                .and_then(|f| f.get("spec"))
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            faults_injected: sub_u64(faults, "injected"),
+            cache,
+        })
+    }
+
+    /// One-line human summary, in the `CacheStats::summary` style.
+    pub fn summary(&self) -> String {
+        let mut line = format!(
+            "health: serving {}, shed {} admission + {} busy, faults {}",
+            self.serving_mode,
+            self.shed_admission,
+            self.shed_busy,
+            if self.faults_enabled {
+                format!("on ({} injected, spec {:?})", self.faults_injected, self.fault_spec)
+            } else {
+                "off".to_string()
+            },
+        );
+        if self.cache.enabled {
+            line.push_str("; ");
+            line.push_str(&self.cache.stats.summary());
+        } else {
+            line.push_str("; cache: disabled");
+        }
+        line
     }
 }
 
@@ -1360,10 +1514,83 @@ mod tests {
                 mem_bytes: 4096,
                 bypasses: 3,
                 bypass_threshold: 128 << 10,
+                disk_breaker_open: true,
+                disk_breaker_trips: 2,
+                disk_breaker_fast_fails: 9,
+                disk_breaker_probes: 3,
+                disk_breaker_recoveries: 1,
             },
         };
         let text = reply.to_json().serialize();
         let back = CacheStatsReply::from_json(&parse(text.as_bytes()).unwrap()).unwrap();
         assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn cache_stats_reply_tolerates_pre_breaker_servers() {
+        let text = CacheStatsReply {
+            enabled: true,
+            disk: true,
+            ..CacheStatsReply::default()
+        }
+        .to_json()
+        .serialize();
+        // Strip the breaker fields as an old server would omit them.
+        let v = parse(text.as_bytes()).unwrap();
+        let Json::Obj(fields) = v else { panic!() };
+        let pruned = Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| !k.starts_with("disk_breaker"))
+                .collect(),
+        );
+        let back = CacheStatsReply::from_json(&pruned).unwrap();
+        assert!(!back.stats.disk_breaker_open);
+        assert_eq!(back.stats.disk_breaker_trips, 0);
+    }
+
+    #[test]
+    fn health_reply_roundtrip() {
+        let reply = HealthReply {
+            serving_mode: "reactor".into(),
+            shed_admission: 4,
+            shed_busy: 17,
+            faults_enabled: true,
+            fault_spec: "cache.disk.stage=enospc@first:4".into(),
+            faults_injected: 4,
+            cache: CacheStatsReply {
+                enabled: true,
+                disk: true,
+                stats: e9cache::CacheStats {
+                    hits: 2,
+                    disk_breaker_open: true,
+                    disk_breaker_trips: 1,
+                    ..e9cache::CacheStats::default()
+                },
+            },
+        };
+        let text = reply.to_json().serialize();
+        let back = HealthReply::from_json(&parse(text.as_bytes()).unwrap()).unwrap();
+        assert_eq!(back, reply);
+        let line = reply.summary();
+        assert!(line.contains("serving reactor"), "{line}");
+        assert!(line.contains("breaker open"), "{line}");
+
+        // An empty result (hypothetical minimal server) decodes to zeros.
+        let minimal = HealthReply::from_json(&parse(b"{}").unwrap()).unwrap();
+        assert_eq!(minimal.serving_mode, "unknown");
+        assert!(!minimal.faults_enabled);
+    }
+
+    #[test]
+    fn health_request_roundtrip_and_empty_params() {
+        let req = Request {
+            id: 9,
+            cmd: Command::Health,
+        };
+        let text = req.encode();
+        assert!(text.contains("\"method\":\"health\""), "{text}");
+        let back = Request::decode(&parse(text.as_bytes()).unwrap()).unwrap();
+        assert_eq!(back, req);
     }
 }

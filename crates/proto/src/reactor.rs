@@ -24,12 +24,14 @@
 //!   delivered to it).
 
 use crate::msg::{code, Response, RpcError};
-use crate::server::{dispatch_line, ServeConfig};
+use crate::server::{dispatch_line, ServeConfig, ShedCounters};
 use crate::session::Session;
 use e9loop::Config as LoopConfig;
 pub use e9loop::{Listener, Service, ServiceFactory, Summary};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Reactor-specific serving knobs, layered on top of [`ServeConfig`]
@@ -83,6 +85,7 @@ fn busy_line() -> Vec<u8> {
 /// exactly like the threaded path.
 pub struct SessionService {
     session: Session,
+    shed: Arc<ShedCounters>,
 }
 
 impl Service for SessionService {
@@ -118,6 +121,7 @@ impl Service for SessionService {
     }
 
     fn on_busy(&mut self, _line: &[u8]) -> Vec<u8> {
+        self.shed.busy.fetch_add(1, Ordering::Relaxed);
         busy_line()
     }
 
@@ -147,10 +151,15 @@ impl ServiceFactory for SessionFactory {
         let mut session = Session::with_limits(self.config.limits.clone());
         session.set_default_jobs(self.config.default_jobs);
         session.set_cache(self.config.cache.clone());
-        SessionService { session }
+        session.set_health(self.config.serving_mode, Arc::clone(&self.config.shed));
+        SessionService {
+            session,
+            shed: Arc::clone(&self.config.shed),
+        }
     }
 
     fn admission_busy(&self) -> Vec<u8> {
+        self.config.shed.admission.fetch_add(1, Ordering::Relaxed);
         busy_line()
     }
 }

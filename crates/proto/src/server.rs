@@ -12,7 +12,31 @@ use crate::msg::{code, Request, Response, RpcError};
 use crate::session::{Session, SessionLimits};
 use std::io::{self, BufRead, BufReader, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Load-shedding counters, shared by every connection of one server so
+/// the `health` command can report how much work was refused. Both
+/// counters only ever grow.
+#[derive(Debug, Default)]
+pub struct ShedCounters {
+    /// Connections refused at accept time (admission control — the
+    /// reactor's `max_clients` cap).
+    pub admission: AtomicU64,
+    /// Requests rejected with [`code::BUSY`] after admission.
+    pub busy: AtomicU64,
+}
+
+impl ShedCounters {
+    /// Snapshot `(admission, busy)`.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (
+            self.admission.load(Ordering::Relaxed),
+            self.busy.load(Ordering::Relaxed),
+        )
+    }
+}
 
 /// Serving-path hardening knobs: everything a hostile or broken client can
 /// exhaust is bounded here, not in the session state machine.
@@ -38,6 +62,11 @@ pub struct ServeConfig {
     /// One [`Arc`](std::sync::Arc) handed to every connection's session,
     /// so all clients pool artifacts; `None` disables caching.
     pub cache: Option<std::sync::Arc<e9cache::Cache>>,
+    /// Which serving core this config drives, as reported by the `health`
+    /// command: `stdio`, `threaded`, `reactor`, or `in-process`.
+    pub serving_mode: &'static str,
+    /// Shared load-shedding counters, reported by `health`.
+    pub shed: Arc<ShedCounters>,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +77,8 @@ impl Default for ServeConfig {
             io_timeout: Some(Duration::from_millis(30_000)),
             default_jobs: None,
             cache: None,
+            serving_mode: "in-process",
+            shed: Arc::new(ShedCounters::default()),
         }
     }
 }
@@ -73,7 +104,15 @@ fn read_capped_line<R: BufRead>(
 ) -> io::Result<LineRead> {
     buf.clear();
     loop {
-        let chunk = reader.fill_buf()?;
+        // EINTR during a socket read is not end-of-session: `fill_buf`
+        // propagates it raw (unlike `write_all`, which retries
+        // internally), so without this retry a signal delivered to a
+        // serving thread — profiler, debugger attach, SIGCHLD — would
+        // tear down an innocent connection.
+        let chunk = match e9failpt::fail_io("proto.server.read").and_then(|()| reader.fill_buf()) {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            other => other?,
+        };
         if chunk.is_empty() {
             return Ok(if buf.is_empty() {
                 LineRead::Eof
@@ -108,7 +147,10 @@ fn read_capped_line<R: BufRead>(
 /// Discard stream bytes up to and including the next newline (or EOF).
 fn drain_to_newline<R: BufRead>(reader: &mut R) -> io::Result<()> {
     loop {
-        let chunk = reader.fill_buf()?;
+        let chunk = match reader.fill_buf() {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            other => other?,
+        };
         if chunk.is_empty() {
             return Ok(());
         }
@@ -166,6 +208,7 @@ pub fn serve_connection_with<R: BufRead, W: Write>(
     let mut session = Session::with_limits(config.limits.clone());
     session.set_default_jobs(config.default_jobs);
     session.set_cache(config.cache.clone());
+    session.set_health(config.serving_mode, Arc::clone(&config.shed));
     let mut line = Vec::new();
     loop {
         let response = match read_capped_line(reader, &mut line, config.max_line_bytes)? {
@@ -193,9 +236,16 @@ pub fn serve_connection_with<R: BufRead, W: Write>(
                 }
             }
         };
-        writer.write_all(response.encode().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        let text = response.encode();
+        // The injection point sits *before* any bytes land, so a retried
+        // interrupt can never duplicate a partial response. (Real EINTR
+        // mid-write is already absorbed inside `write_all`.)
+        e9failpt::retry::retry_interrupted(e9failpt::retry::EINTR_BUDGET, || {
+            e9failpt::fail_io("proto.server.write")?;
+            writer.write_all(text.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()
+        })?;
         if session.shutdown_requested() {
             return Ok(true);
         }
@@ -322,7 +372,15 @@ pub mod unix {
         let mut handles = Vec::new();
         let mut accepted = 0usize;
         while !stop.load(Ordering::SeqCst) {
-            let (stream, _) = listener.accept()?;
+            // `accept` is the classic EINTR victim: a stray signal must
+            // re-check the stop flag and keep accepting, not kill the
+            // daemon's accept loop.
+            let (stream, _) = match e9failpt::fail_io("proto.server.accept")
+                .and_then(|()| listener.accept())
+            {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                other => other?,
+            };
             if stop.load(Ordering::SeqCst) {
                 break; // the wake-up connection after a shutdown
             }

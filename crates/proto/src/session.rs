@@ -20,8 +20,9 @@
 
 use crate::cachekey;
 use crate::msg::{code, CacheAction, CacheDisposition, CacheStatsReply, Command, EmitReply,
-                 RpcError, WireMapping, PROTOCOL_VERSION};
+                 HealthReply, RpcError, WireMapping, PROTOCOL_VERSION};
 use crate::json::{obj, Json};
+use crate::server::ShedCounters;
 use e9cache::{Cache, Entry, Hit};
 use e9patch::planner::AllocPolicy;
 use e9patch::{ExtraSegment, PatchRequest, RewriteConfig, Rewriter};
@@ -76,6 +77,11 @@ pub struct Session {
     shutdown: bool,
     /// Shared rewrite cache (one per server, not per session).
     cache: Option<Arc<Cache>>,
+    /// Serving core reported by `health` (`in-process` when no server
+    /// loop owns this session).
+    serving_mode: &'static str,
+    /// Shared load-shedding counters (one per server), when served.
+    shed: Option<Arc<ShedCounters>>,
 }
 
 impl Default for Session {
@@ -104,6 +110,8 @@ impl Session {
             limits,
             shutdown: false,
             cache: None,
+            serving_mode: "in-process",
+            shed: None,
         }
     }
 
@@ -117,6 +125,14 @@ impl Session {
     /// every connection's session, so all clients pool their artifacts.
     pub fn set_cache(&mut self, cache: Option<Arc<Cache>>) {
         self.cache = cache;
+    }
+
+    /// Attach the serving-core identity and shared shed counters that the
+    /// `health` command reports. Server loops call this right after
+    /// construction; an unserved session reports `in-process` and zeros.
+    pub fn set_health(&mut self, serving_mode: &'static str, shed: Arc<ShedCounters>) {
+        self.serving_mode = serving_mode;
+        self.shed = Some(shed);
     }
 
     fn over_limit(what: &str, cap: usize) -> RpcError {
@@ -135,8 +151,10 @@ impl Session {
     /// Protocol-state violations, invalid parameters and rewrite failures,
     /// each with its [`code`] constant.
     pub fn handle(&mut self, cmd: Command) -> Result<Json, RpcError> {
-        // Everything except version negotiation requires it done first.
-        if self.version.is_none() && !matches!(cmd, Command::Version { .. }) {
+        // Everything except version negotiation requires it done first —
+        // except `health`, which must work against a daemon an operator
+        // cannot (or does not want to) handshake with.
+        if self.version.is_none() && !matches!(cmd, Command::Version { .. } | Command::Health) {
             return Err(RpcError::state("version not negotiated"));
         }
         match cmd {
@@ -180,6 +198,7 @@ impl Session {
             }
             Command::Emit => self.emit_cmd(),
             Command::Cache { action } => self.cache_cmd(action),
+            Command::Health => Ok(self.health_reply().to_json()),
             Command::Shutdown => {
                 self.shutdown = true;
                 Ok(Json::Obj(Vec::new()))
@@ -452,6 +471,33 @@ impl Session {
                     ("disk_removed", Json::Int(disk_removed as i128)),
                 ]))
             }
+        }
+    }
+
+    /// Assemble the `health` snapshot: serving core, shed counters,
+    /// fault-injection state and the cache/breaker counters.
+    fn health_reply(&self) -> HealthReply {
+        let cache = match &self.cache {
+            Some(c) => CacheStatsReply {
+                enabled: true,
+                disk: c.has_disk(),
+                stats: c.stats(),
+            },
+            None => CacheStatsReply::default(),
+        };
+        let (shed_admission, shed_busy) = self
+            .shed
+            .as_ref()
+            .map(|s| s.snapshot())
+            .unwrap_or((0, 0));
+        HealthReply {
+            serving_mode: self.serving_mode.to_string(),
+            shed_admission,
+            shed_busy,
+            faults_enabled: e9failpt::is_enabled(),
+            fault_spec: e9failpt::active_spec().unwrap_or_default(),
+            faults_injected: e9failpt::injected_total(),
+            cache,
         }
     }
 }
@@ -851,6 +897,38 @@ mod tests {
         // Cleared: the same emit misses again.
         let reply = EmitReply::from_json(&s.handle(Command::Emit).unwrap()).unwrap();
         assert_eq!(reply.cache, crate::msg::CacheDisposition::Miss);
+    }
+
+    #[test]
+    fn health_is_allowed_pre_version_and_reports_state() {
+        use crate::msg::HealthReply;
+        use crate::server::ShedCounters;
+
+        // No version negotiated yet: health must still answer (it is the
+        // one command an operator can always issue against a live daemon).
+        let mut s = Session::new();
+        let h = HealthReply::from_json(&s.handle(Command::Health).unwrap()).unwrap();
+        assert_eq!(h.serving_mode, "in-process");
+        assert!(!h.cache.enabled);
+        assert_eq!(h.shed_admission, 0);
+        // Health does not substitute for negotiation: emit still gates.
+        let e = s.handle(Command::Emit).unwrap_err();
+        assert_eq!(e.code, code::STATE);
+
+        // A daemon-shaped session reports its serving mode, shed
+        // counters and cache tier state.
+        let shed = Arc::new(ShedCounters::default());
+        shed.admission.fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+        shed.busy.fetch_add(5, std::sync::atomic::Ordering::Relaxed);
+        let mut d = Session::new();
+        d.set_cache(Some(Arc::new(Cache::in_memory())));
+        d.set_health("reactor", shed);
+        let h = HealthReply::from_json(&d.handle(Command::Health).unwrap()).unwrap();
+        assert_eq!(h.serving_mode, "reactor");
+        assert!(h.cache.enabled);
+        assert!(!h.cache.disk);
+        assert_eq!((h.shed_admission, h.shed_busy), (3, 5));
+        assert!(!h.cache.stats.disk_breaker_open);
     }
 
     #[test]

@@ -67,17 +67,29 @@ fn two_connections_share_the_cache_and_hit_byte_identically() {
     let sock = dir.join("e9.sock");
     let cache_dir = dir.join("cache");
 
-    let mut daemon = std::process::Command::new(daemon_path())
-        .arg("--socket")
-        .arg(&sock)
-        .arg("--cache-dir")
-        .arg(&cache_dir)
-        // The synth workload is tiny: disable the size bypass so the
-        // cache mechanics under test actually engage.
-        .args(["--cache-bypass-bytes", "0"])
-        .args(["--max-conns", "2"])
-        .spawn()
-        .unwrap();
+    // Kills the daemon on drop so a panicking test can never orphan it —
+    // an orphan inherits the runner's stdout and wedges any pipeline
+    // reading that stream.
+    struct Reap(std::process::Child);
+    impl Drop for Reap {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+    let mut daemon = Reap(
+        std::process::Command::new(daemon_path())
+            .arg("--socket")
+            .arg(&sock)
+            .arg("--cache-dir")
+            .arg(&cache_dir)
+            // The synth workload is tiny: disable the size bypass so the
+            // cache mechanics under test actually engage.
+            .args(["--cache-bypass-bytes", "0"])
+            .args(["--max-conns", "2"])
+            .spawn()
+            .unwrap(),
+    );
 
     let (bin, disasm, sites) = workload();
 
@@ -116,16 +128,13 @@ fn two_connections_share_the_cache_and_hit_byte_identically() {
     // --max-conns 2: the daemon retires on its own after connection 2.
     let mut exited = false;
     for _ in 0..500 {
-        if let Some(status) = daemon.try_wait().unwrap() {
+        if let Some(status) = daemon.0.try_wait().unwrap() {
             assert!(status.success(), "daemon exited with {status}");
             exited = true;
             break;
         }
         std::thread::sleep(std::time::Duration::from_millis(10));
     }
-    if !exited {
-        daemon.kill().ok();
-        panic!("daemon did not exit after --max-conns connections");
-    }
+    assert!(exited, "daemon did not exit after --max-conns connections");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -9,6 +9,20 @@ fn daemon_path() -> &'static str {
     env!("CARGO_BIN_EXE_e9patchd")
 }
 
+/// Kills the daemon on drop so a panicking test can never orphan it. An
+/// orphaned daemon inherits the test runner's stdout, and any pipeline
+/// reading that stream blocks on the survivor instead of seeing EOF.
+#[cfg(unix)]
+struct Reap(std::process::Child);
+
+#[cfg(unix)]
+impl Drop for Reap {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
 /// A synthetic workload binary, its disassembly, and its A1 jump sites.
 fn workload() -> (Vec<u8>, Vec<e9x86::insn::Insn>, Vec<u64>) {
     let sb = e9synth::generate(&e9synth::Profile::tiny("daemon-test", false));
@@ -65,11 +79,13 @@ fn unix_socket_daemon_matches_in_process_and_shuts_down() {
     std::fs::create_dir_all(&dir).unwrap();
     let sock = dir.join("e9.sock");
 
-    let mut daemon = std::process::Command::new(daemon_path())
-        .arg("--socket")
-        .arg(&sock)
-        .spawn()
-        .unwrap();
+    let mut daemon = Reap(
+        std::process::Command::new(daemon_path())
+            .arg("--socket")
+            .arg(&sock)
+            .spawn()
+            .unwrap(),
+    );
     for _ in 0..200 {
         if sock.exists() {
             break;
@@ -87,17 +103,14 @@ fn unix_socket_daemon_matches_in_process_and_shuts_down() {
     drop(client);
     let mut ok = false;
     for _ in 0..500 {
-        if let Some(status) = daemon.try_wait().unwrap() {
+        if let Some(status) = daemon.0.try_wait().unwrap() {
             assert!(status.success(), "daemon exited with {status}");
             ok = true;
             break;
         }
         std::thread::sleep(std::time::Duration::from_millis(10));
     }
-    if !ok {
-        daemon.kill().ok();
-        panic!("daemon did not exit after shutdown");
-    }
+    assert!(ok, "daemon did not exit after shutdown");
     assert!(!sock.exists(), "socket file not cleaned up");
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -114,13 +127,15 @@ fn client_killed_mid_batch_does_not_poison_the_daemon() {
     std::fs::create_dir_all(&dir).unwrap();
     let sock = dir.join("e9.sock");
 
-    let mut daemon = std::process::Command::new(daemon_path())
-        .arg("--socket")
-        .arg(&sock)
-        .arg("--timeout-ms")
-        .arg("5000")
-        .spawn()
-        .unwrap();
+    let mut daemon = Reap(
+        std::process::Command::new(daemon_path())
+            .arg("--socket")
+            .arg(&sock)
+            .arg("--timeout-ms")
+            .arg("5000")
+            .spawn()
+            .unwrap(),
+    );
 
     let (bin, disasm, sites) = workload();
 
@@ -153,15 +168,15 @@ fn client_killed_mid_batch_does_not_poison_the_daemon() {
     client.shutdown().unwrap();
     drop(client);
     for _ in 0..500 {
-        if daemon.try_wait().unwrap().is_some() {
+        if daemon.0.try_wait().unwrap().is_some() {
             break;
         }
         std::thread::sleep(std::time::Duration::from_millis(10));
     }
-    if daemon.try_wait().unwrap().is_none() {
-        daemon.kill().ok();
-        panic!("daemon did not exit after shutdown");
-    }
+    assert!(
+        daemon.0.try_wait().unwrap().is_some(),
+        "daemon did not exit after shutdown"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -176,12 +191,14 @@ fn daemon_rejects_oversized_lines_in_band() {
     std::fs::create_dir_all(&dir).unwrap();
     let sock = dir.join("e9.sock");
 
-    let mut daemon = std::process::Command::new(daemon_path())
-        .arg("--socket")
-        .arg(&sock)
-        .args(["--max-line-bytes", "4096", "--max-conns", "1"])
-        .spawn()
-        .unwrap();
+    let mut daemon = Reap(
+        std::process::Command::new(daemon_path())
+            .arg("--socket")
+            .arg(&sock)
+            .args(["--max-line-bytes", "4096", "--max-conns", "1"])
+            .spawn()
+            .unwrap(),
+    );
 
     for _ in 0..200 {
         if sock.exists() {
@@ -212,7 +229,7 @@ fn daemon_rejects_oversized_lines_in_band() {
 
     drop(stream);
     drop(reader);
-    let _ = daemon.wait();
+    let _ = daemon.0.wait();
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -34,15 +34,26 @@ fn wait_for_sock(sock: &Path) {
     panic!("daemon never bound {}", sock.display());
 }
 
-fn wait_for_exit(daemon: &mut Child) {
+/// Kills the daemon on drop so a panicking test can never orphan it. An
+/// orphaned daemon inherits the test runner's stdout, and any pipeline
+/// reading that stream blocks on the survivor instead of seeing EOF.
+struct Reap(Child);
+
+impl Drop for Reap {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn wait_for_exit(daemon: &mut Reap) {
     for _ in 0..500 {
-        if let Some(status) = daemon.try_wait().unwrap() {
+        if let Some(status) = daemon.0.try_wait().unwrap() {
             assert!(status.success(), "daemon exited with {status}");
             return;
         }
         std::thread::sleep(Duration::from_millis(10));
     }
-    daemon.kill().ok();
     panic!("daemon did not exit");
 }
 
@@ -140,7 +151,7 @@ fn reactor_replies_are_byte_identical_to_threaded() {
         if mode == "threaded" {
             cmd.arg("--threaded");
         }
-        let mut daemon = cmd.stderr(Stdio::null()).spawn().unwrap();
+        let mut daemon = Reap(cmd.stderr(Stdio::null()).spawn().unwrap());
         wait_for_sock(&sock);
         let mut stream = UnixStream::connect(&sock).unwrap();
         // One write: the entire job is pipelined.
@@ -169,12 +180,14 @@ fn reactor_replies_are_byte_identical_to_threaded() {
 /// in-process rewriter, and in-band shutdown still works.
 #[test]
 fn tcp_transport_serves_a_full_job() {
-    let mut daemon = Proc::new(daemon_path())
-        .args(["--listen-tcp", "127.0.0.1:0"])
-        .stderr(Stdio::piped())
-        .spawn()
-        .unwrap();
-    let stderr = daemon.stderr.take().unwrap();
+    let mut daemon = Reap(
+        Proc::new(daemon_path())
+            .args(["--listen-tcp", "127.0.0.1:0"])
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap(),
+    );
+    let stderr = daemon.0.stderr.take().unwrap();
     let mut lines = BufReader::new(stderr);
     let addr = loop {
         let mut line = String::new();
@@ -209,13 +222,15 @@ fn tcp_transport_serves_a_full_job() {
 fn drain_finishes_in_flight_emit_and_refuses_late_connections() {
     let dir = temp_dir("drain");
     let sock = dir.join("e9.sock");
-    let mut daemon = Proc::new(daemon_path())
-        .arg("--socket")
-        .arg(&sock)
-        .args(["--drain-ms", "10000"])
-        .stderr(Stdio::null())
-        .spawn()
-        .unwrap();
+    let mut daemon = Reap(
+        Proc::new(daemon_path())
+            .arg("--socket")
+            .arg(&sock)
+            .args(["--drain-ms", "10000"])
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap(),
+    );
     wait_for_sock(&sock);
 
     // Session A: everything but the emit.
@@ -268,13 +283,15 @@ fn drain_finishes_in_flight_emit_and_refuses_late_connections() {
 fn admission_cap_sheds_with_typed_busy() {
     let dir = temp_dir("busy");
     let sock = dir.join("e9.sock");
-    let mut daemon = Proc::new(daemon_path())
-        .arg("--socket")
-        .arg(&sock)
-        .args(["--max-clients", "1"])
-        .stderr(Stdio::null())
-        .spawn()
-        .unwrap();
+    let mut daemon = Reap(
+        Proc::new(daemon_path())
+            .arg("--socket")
+            .arg(&sock)
+            .args(["--max-clients", "1"])
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap(),
+    );
     wait_for_sock(&sock);
 
     let mut keep = ProtoClient::connect_unix_retry(&sock, 8).unwrap();
@@ -316,13 +333,15 @@ fn admission_cap_sheds_with_typed_busy() {
 fn pending_budget_answers_busy_in_band() {
     let dir = temp_dir("budget");
     let sock = dir.join("e9.sock");
-    let mut daemon = Proc::new(daemon_path())
-        .arg("--socket")
-        .arg(&sock)
-        .args(["--max-pending-bytes", "4096", "--max-conns", "1"])
-        .stderr(Stdio::null())
-        .spawn()
-        .unwrap();
+    let mut daemon = Reap(
+        Proc::new(daemon_path())
+            .arg("--socket")
+            .arg(&sock)
+            .args(["--max-pending-bytes", "4096", "--max-conns", "1"])
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap(),
+    );
     wait_for_sock(&sock);
 
     let mut stream = UnixStream::connect(&sock).unwrap();
@@ -414,13 +433,15 @@ fn pending_budget_answers_busy_in_band() {
 fn pipelined_requests_reply_in_order() {
     let dir = temp_dir("pipe");
     let sock = dir.join("e9.sock");
-    let mut daemon = Proc::new(daemon_path())
-        .arg("--socket")
-        .arg(&sock)
-        .args(["--max-conns", "1"])
-        .stderr(Stdio::null())
-        .spawn()
-        .unwrap();
+    let mut daemon = Reap(
+        Proc::new(daemon_path())
+            .arg("--socket")
+            .arg(&sock)
+            .args(["--max-conns", "1"])
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap(),
+    );
     wait_for_sock(&sock);
 
     let mut stream = UnixStream::connect(&sock).unwrap();

@@ -32,10 +32,17 @@
 #      against a live reactor) must pass, and the bench_serve smoke runs
 #      512 concurrent sessions against both serving modes with every
 #      client asserting byte-identity against an in-process reference
+#   9. environmental I/O faults: a seeded io-surface campaign (24 cases
+#      driving ENOSPC/EIO/EINTR/short-write/failed-rename schedules
+#      through full rewrite jobs against live daemons) must pass, and a
+#      disk-full smoke boots a daemon whose cache CAS fails under an
+#      E9FAILPOINTS ENOSPC schedule: rewrites stay byte-identical while
+#      the disk circuit breaker trips to memory-only mode, probes, and
+#      recovers — the whole walk observed through `e9tool health`
 #
 # Knobs: E9QCHECK_CASES scales property-test depth (default 64);
 # E9_SEED pins the generator seed used by step 3's CLI runs;
-# E9FAULT_SEED pins the fault campaign seeds used by steps 5 and 7.
+# E9FAULT_SEED pins the fault campaign seeds used by steps 5, 7, 8, 9.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -189,5 +196,55 @@ echo "tcp backend output byte-identical to in-process: ok"
 echo "== serving core: loop fault campaign + 512-connection smoke =="
 target/release/e9fault --seed "${E9FAULT_SEED:-42}" --surface loop --loop-cases 24
 cargo bench -q --offline -p e9bench --bench serve -- --smoke --no-json
+
+echo "== environmental I/O fault campaign =="
+target/release/e9fault --seed "${E9FAULT_SEED:-42}" --surface io --io-cases 24
+
+echo "== disk-full degradation: breaker trip, probe, recovery via health =="
+fsock="$tmp/e9.fault.sock"
+E9FAILPOINTS="cache.disk.stage=enospc@first:4" \
+E9FAILPOINTS_SEED="${E9FAULT_SEED:-42}" \
+  target/release/e9patchd --socket "$fsock" --cache-dir "$tmp/fault-cas" \
+  --cache-bypass-bytes 0 2>"$tmp/faultd.log" &
+fpid=$!
+for _ in $(seq 1 100); do
+  [ -S "$fsock" ] && break
+  sleep 0.05
+done
+[ -S "$fsock" ] || { echo "fault daemon never bound its socket" >&2; exit 1; }
+grep -q "fault injection active" "$tmp/faultd.log" \
+  || { echo "daemon did not announce fault injection" >&2; exit 1; }
+# Twelve distinct inputs (one Table 1 profile each) -> twelve distinct
+# cache keys, so every job is a miss + store attempt. The first:4
+# ENOSPC schedule walks the breaker deterministically: jobs 0-2 fail
+# their stores and trip it, jobs 3-5 fast-fail both lookup and store,
+# job 6's store probes and eats the 4th injected fault, jobs 7-9
+# fast-fail, job 10's store probes against the now-exhausted schedule
+# and recovers, job 11 runs normally. Every rewrite must stay
+# byte-identical to the in-process path throughout — disk-full degrades
+# the cache, never the output.
+fprofiles=(perlbench bzip2 gcc bwaves mcf milc gromacs leslie3d namd soplex hmmer sjeng)
+i=0
+for prof in "${fprofiles[@]}"; do
+  "${e9tool[@]}" gen --profile "$prof" --scale 200 -o "$tmp/f$i.elf"
+  "${e9tool[@]}" patch "$tmp/f$i.elf" -o "$tmp/f$i.wire.e9" --app a1 --backend "$fsock"
+  "${e9tool[@]}" patch "$tmp/f$i.elf" -o "$tmp/f$i.ref.e9" --app a1
+  cmp "$tmp/f$i.wire.e9" "$tmp/f$i.ref.e9"
+  if [ "$i" -eq 4 ]; then
+    "${e9tool[@]}" health --backend "$fsock" | tee "$tmp/health.mid.log"
+    grep -q "cache breaker: OPEN" "$tmp/health.mid.log" \
+      || { echo "breaker not open mid-outage" >&2; exit 1; }
+  fi
+  i=$((i + 1))
+done
+"${e9tool[@]}" health --backend "$fsock" | tee "$tmp/health.end.log"
+grep -q "cache breaker: closed (1 trips, 1 recoveries, 14 fast-fails, 2 probes)" \
+  "$tmp/health.end.log" \
+  || { echo "breaker walk did not end in recovery with the pinned counters" >&2; exit 1; }
+grep -q "faults:        enabled, 4 injected" "$tmp/health.end.log" \
+  || { echo "health did not report the injected-fault count" >&2; exit 1; }
+kill "$fpid" 2>/dev/null || true
+wait "$fpid" 2>/dev/null || true
+echo "disk-full walk: trip, probe, recovery, byte-identical throughout: ok"
 
 echo "ALL CHECKS PASSED"
