@@ -47,6 +47,31 @@ pub enum Template {
         /// Absolute address of the hook function.
         func_addr: u64,
     },
+    /// Full register-save hook: spill every caller-visible GPR (all
+    /// sixteen except `%rsp`, which is dropped past the red zone) plus
+    /// RFLAGS, call `fn(site_addr in %rdi)`, restore everything, then
+    /// execute the displaced instruction and resume. The foundation of the
+    /// e9hook function-hooking subsystem: unlike [`Template::HookCall`],
+    /// the payload may be arbitrary SysV code that clobbers any
+    /// caller-saved register.
+    HookSave {
+        /// Absolute address of the hook payload function.
+        func_addr: u64,
+    },
+    /// Call-original hook: as [`Template::HookSave`], but the payload is
+    /// `fn(site_addr in %rdi, thunk_addr in %rsi)` where `thunk_addr` is an
+    /// executable thunk holding the *relocated* displaced prologue
+    /// instruction followed by a jump to the second instruction of the
+    /// hooked function — calling it re-enters the original function. After
+    /// the payload returns and registers are restored, the trampoline
+    /// continues through that same thunk (diverting; no inline displaced
+    /// copy), so the relocated prologue is exercised on every call.
+    HookOriginal {
+        /// Absolute address of the hook payload function.
+        func_addr: u64,
+        /// Absolute address of the call-original thunk.
+        thunk_addr: u64,
+    },
     /// Execute `code` *instead of* the displaced instruction, then jump to
     /// `resume` (defaulting to the next instruction) — binary patching
     /// (Example 3.1 / Figure 2).
@@ -90,6 +115,27 @@ impl std::error::Error for BuildError {}
 
 const RED_ZONE: i32 = 128;
 
+/// GPRs spilled by the [`Template::HookSave`] / [`Template::HookOriginal`]
+/// prologue, in push order (`%rsp` is excluded: it is handled by the
+/// red-zone adjustment and must stay live for the pushes themselves).
+const SAVED_REGS: [Reg; 15] = [
+    Reg::Rax,
+    Reg::Rcx,
+    Reg::Rdx,
+    Reg::Rbx,
+    Reg::Rbp,
+    Reg::Rsi,
+    Reg::Rdi,
+    Reg::R8,
+    Reg::R9,
+    Reg::R10,
+    Reg::R11,
+    Reg::R12,
+    Reg::R13,
+    Reg::R14,
+    Reg::R15,
+];
+
 /// Conservative upper bound on the built trampoline size in bytes, used to
 /// reserve address space before the final address is known.
 pub fn max_size(template: &Template, insn: &Insn) -> usize {
@@ -106,8 +152,33 @@ pub fn max_size(template: &Template, insn: &Insn) -> usize {
         // As CheckCall, with a movabs(10) site-address load instead of the
         // lea.
         Template::HookCall { .. } => 45 + displaced + resume,
+        // lea(5) + 15 pushes (7 + 2×8 = 23) + pushfq(1) + movabs-site(10)
+        // + movabs-func(10) + call *rax(2) + popfq(1) + 15 pops(23)
+        // + lea-restore(8, disp32 form for +128).
+        Template::HookSave { .. } => 83 + displaced + resume,
+        // As HookSave plus a movabs(10) thunk-address load; the tail is a
+        // single jmp(5) to the thunk instead of displaced + resume.
+        Template::HookOriginal { .. } => 98,
         Template::Replace { code, .. } => code.len() + resume,
     }
+}
+
+/// Full-state save: red-zone skip, every GPR but `%rsp`, RFLAGS.
+fn save_all(a: &mut Asm) {
+    a.lea(Reg::Rsp, Mem::base_disp(Reg::Rsp, -RED_ZONE));
+    for r in SAVED_REGS {
+        a.push_r(r);
+    }
+    a.pushfq();
+}
+
+/// Exact inverse of [`save_all`].
+fn restore_all(a: &mut Asm) {
+    a.popfq();
+    for r in SAVED_REGS.iter().rev() {
+        a.pop_r(*r);
+    }
+    a.lea(Reg::Rsp, Mem::base_disp(Reg::Rsp, RED_ZONE));
 }
 
 /// Does the displaced instruction unconditionally leave the trampoline
@@ -182,6 +253,28 @@ pub fn build(template: &Template, insn: &Insn, tramp_addr: u64) -> Result<Vec<u8
             a.pop_r(Reg::Rax);
             a.pop_r(Reg::Rdi);
             a.lea(Reg::Rsp, Mem::base_disp(Reg::Rsp, RED_ZONE));
+        }
+        Template::HookSave { func_addr } => {
+            save_all(&mut a);
+            a.mov_ri64(Reg::Rdi, insn.addr as i64);
+            a.mov_ri64(Reg::Rax, *func_addr as i64);
+            a.call_ind_r(Reg::Rax);
+            restore_all(&mut a);
+        }
+        Template::HookOriginal {
+            func_addr,
+            thunk_addr,
+        } => {
+            save_all(&mut a);
+            a.mov_ri64(Reg::Rdi, insn.addr as i64);
+            a.mov_ri64(Reg::Rsi, *thunk_addr as i64);
+            a.mov_ri64(Reg::Rax, *func_addr as i64);
+            a.call_ind_r(Reg::Rax);
+            restore_all(&mut a);
+            // Continue the original function through its thunk: relocated
+            // prologue + jump to the second instruction live there.
+            a.jmp_abs(*thunk_addr).map_err(|_| BuildError::OutOfReach)?;
+            return a.finish().map_err(|_| BuildError::OutOfReach);
         }
         Template::Replace { code, resume } => {
             a.raw(code);
@@ -328,6 +421,94 @@ mod tests {
         // Register-only patch sites are fine for hooks (unlike CheckCall).
         let reg_only = e9x86::decode(&[0x48, 0x01, 0xC3], 0x401000).unwrap();
         assert!(build(&Template::HookCall { func_addr: 0x50000000 }, &reg_only, 0x70000000).is_ok());
+    }
+
+    #[test]
+    fn hook_save_spills_and_restores_every_gpr() {
+        let insn = mov_insn();
+        let t = build(&Template::HookSave { func_addr: 0x46000000 }, &insn, 0x70000000).unwrap();
+        assert!(t.len() <= max_size(&Template::HookSave { func_addr: 0 }, &insn));
+        // 15 pushes then pushfq on the way in; popfq then 15 pops out.
+        let pushes = t.iter().filter(|&&b| (0x50..0x58).contains(&b)).count();
+        let pops = t.iter().filter(|&&b| (0x58..0x60).contains(&b)).count();
+        assert_eq!(pushes, 15, "push count: {t:02x?}");
+        assert_eq!(pops, 15, "pop count: {t:02x?}");
+        let pushf = t.iter().position(|&b| b == 0x9C).unwrap();
+        let popf = t.iter().position(|&b| b == 0x9D).unwrap();
+        assert!(pushf < popf);
+        // Site address in %rdi: movabs $0x401000,%rdi.
+        let needle = [0x48, 0xBF, 0x00, 0x10, 0x40, 0x00, 0x00, 0x00, 0x00, 0x00];
+        assert!(t.windows(needle.len()).any(|w| w == needle));
+        // Ends with the displaced insn + jmp back.
+        assert_eq!(&t[t.len() - 8..t.len() - 5], insn.bytes());
+        let back = decode(&t[t.len() - 5..], 0x70000000 + t.len() as u64 - 5).unwrap();
+        assert_eq!(back.branch_target(), Some(insn.end()));
+    }
+
+    #[test]
+    fn hook_save_restore_order_is_lifo() {
+        let insn = mov_insn();
+        let t = build(&Template::HookSave { func_addr: 0x46000000 }, &insn, 0x70000000).unwrap();
+        // First push is rax (0x50), last pop is rax (0x58): exact inverse.
+        let first_push = t.iter().find(|&&b| (0x50..0x58).contains(&b)).unwrap();
+        let last_pop = t.iter().rfind(|&&b| (0x58..0x60).contains(&b)).unwrap();
+        assert_eq!(*first_push, 0x50);
+        assert_eq!(*last_pop, 0x58);
+    }
+
+    #[test]
+    fn hook_original_diverts_to_thunk() {
+        let insn = mov_insn();
+        let thunk = 0x7100_0000u64;
+        let t = build(
+            &Template::HookOriginal { func_addr: 0x50000000, thunk_addr: thunk },
+            &insn,
+            0x70000000,
+        )
+        .unwrap();
+        assert!(t.len() <= max_size(
+            &Template::HookOriginal { func_addr: 0, thunk_addr: 0 },
+            &insn
+        ));
+        // Thunk address in %rsi: movabs $thunk,%rsi.
+        let mut needle = vec![0x48, 0xBE];
+        needle.extend_from_slice(&thunk.to_le_bytes());
+        assert!(t.windows(needle.len()).any(|w| w == needle), "{t:02x?}");
+        // No inline displaced copy; tail is a jmp to the thunk.
+        let j = decode(&t[t.len() - 5..], 0x70000000 + t.len() as u64 - 5).unwrap();
+        assert_eq!(j.branch_target(), Some(thunk));
+        assert!(!t.windows(3).any(|w| w == insn.bytes()));
+    }
+
+    #[test]
+    fn hook_templates_preserve_stack_alignment() {
+        // 15 pushes + pushfq = 16 slots = 128 bytes: together with the
+        // red-zone lea the payload sees rsp ≡ site rsp (mod 16).
+        let insn = mov_insn();
+        for tpl in [
+            Template::HookSave { func_addr: 0x46000000 },
+            Template::HookOriginal { func_addr: 0x46000000, thunk_addr: 0x71000000 },
+        ] {
+            let t = build(&tpl, &insn, 0x70000000).unwrap();
+            let pushes = t.iter().filter(|&&b| (0x50..0x58).contains(&b)).count();
+            assert_eq!((pushes + 1) * 8 % 16, 0);
+        }
+    }
+
+    #[test]
+    fn hook_original_out_of_reach_thunk_rejected() {
+        let insn = mov_insn();
+        assert_eq!(
+            build(
+                &Template::HookOriginal {
+                    func_addr: 0x50000000,
+                    thunk_addr: 0x7FFF_0000_0000,
+                },
+                &insn,
+                0x70000000,
+            ),
+            Err(BuildError::OutOfReach)
+        );
     }
 
     #[test]

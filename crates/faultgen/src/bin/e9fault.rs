@@ -47,7 +47,7 @@ fn replay(seed: u64, surface: Surface, case: u32, jobs: Option<usize>) -> ExitCo
     let mut rng = case_rng(seed, surface, case);
     let outcome = match surface {
         Surface::Elf => {
-            let mutant = elf::mutate(&mut rng, &elf::baseline_elf());
+            let mutant = elf::mutate(&mut rng, &elf::baseline_elf_with_symbols());
             eprintln!("e9fault: replaying elf case {case} ({} bytes)", mutant.len());
             e9faultgen::elf_case(&mutant)
         }

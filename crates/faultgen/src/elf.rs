@@ -3,9 +3,12 @@
 //! The grammar targets the places a naive parser panics: header-table
 //! counts and offsets (slice OOB / allocation bombs), segment size fields
 //! (`usize` wrap, page-table bombs), truncation (partial reads) and
-//! overlap (inconsistent tables). Raw byte flips catch whatever the
-//! structured moves miss.
+//! overlap (inconsistent tables), plus symbol-table damage (overflowing
+//! `st_name`, bogus `st_value`, truncated string tables) aimed at the
+//! hook planner's resolver. Raw byte flips catch whatever the structured
+//! moves miss.
 
+use e9elf::symbols::{Symbol, SYM_SIZE};
 use e9elf::types::{EHDR_SIZE, PHDR_SIZE};
 use e9rng::StdRng;
 
@@ -52,8 +55,45 @@ pub fn baseline_elf() -> Vec<u8> {
     b.build()
 }
 
+/// The baseline plus a symbol table naming its two functions. Campaigns
+/// mutate *this* image: the symbol-table moves need real
+/// `.symtab`/`.strtab` bytes to damage, and the hook-planning probe in
+/// `elf_case` needs names to resolve. The checked-in hostile corpus stays
+/// derived from [`baseline_elf`] so its bytes remain stable.
+pub fn baseline_elf_with_symbols() -> Vec<u8> {
+    let code = vec![
+        0x48, 0x89, 0x03, 0x48, 0x83, 0xC0, 0x20, 0xC3, //
+        0x0F, 0x1F, 0x44, 0x00, 0x00, 0x0F, 0x1F, 0x44, 0x00, 0x00,
+    ];
+    let mut b = e9elf::build::ElfBuilder::exec(0x400000);
+    b.text(code, 0x401000);
+    let symbols = [
+        Symbol {
+            name: "store".into(),
+            value: 0x401000,
+            size: 3,
+        },
+        Symbol {
+            name: "bump".into(),
+            value: 0x401003,
+            size: 5,
+        },
+    ];
+    let (symtab, strtab) = e9elf::symbols::encode(&symbols);
+    b.note(".symtab", symtab);
+    b.note(".strtab", strtab);
+    b.entry(0x401000);
+    b.build()
+}
+
 fn put16(bytes: &mut [u8], off: usize, v: u16) {
     if let Some(dst) = bytes.get_mut(off..off + 2) {
+        dst.copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put32(bytes: &mut [u8], off: usize, v: u32) {
+    if let Some(dst) = bytes.get_mut(off..off + 4) {
         dst.copy_from_slice(&v.to_le_bytes());
     }
 }
@@ -93,7 +133,7 @@ pub fn mutate(rng: &mut StdRng, base: &[u8]) -> Vec<u8> {
     let mut bytes = base.to_vec();
     let moves = rng.gen_range(1..=3u32);
     for _ in 0..moves {
-        match rng.gen_range(0..8u32) {
+        match rng.gen_range(0..11u32) {
             0 => truncate(rng, &mut bytes),
             1 => flip_bytes(rng, &mut bytes),
             2 => inflate_counts(rng, &mut bytes),
@@ -101,7 +141,10 @@ pub fn mutate(rng: &mut StdRng, base: &[u8]) -> Vec<u8> {
             4 => inflate_sizes(rng, &mut bytes),
             5 => inject_overlap(rng, &mut bytes),
             6 => wrap_vaddr(rng, &mut bytes),
-            _ => scramble_header(rng, &mut bytes),
+            7 => scramble_header(rng, &mut bytes),
+            8 => sym_name_bomb(rng, &mut bytes),
+            9 => sym_value_bomb(rng, &mut bytes),
+            _ => strtab_damage(rng, &mut bytes),
         }
     }
     bytes
@@ -213,6 +256,70 @@ fn wrap_vaddr(rng: &mut StdRng, bytes: &mut [u8]) {
     if let Some(off) = phdr_at(bytes, i) {
         let high = u64::MAX - rng.gen_range(0..0x10_000u64);
         put64(bytes, off + PH_VADDR, high & !0xFFF);
+    }
+}
+
+/// File-offset span of a named section, if the image still parses and the
+/// span sits fully inside the file. Symbol moves become no-ops once an
+/// earlier move has destroyed the section headers — the mutant is already
+/// hostile enough.
+fn section_span(bytes: &[u8], name: &str) -> Option<(usize, usize)> {
+    let elf = e9elf::image::Elf::parse(bytes).ok()?;
+    let s = elf.section(name)?;
+    let off = usize::try_from(s.sh_offset).ok()?;
+    let len = usize::try_from(s.sh_size).ok()?;
+    (off.checked_add(len)? <= bytes.len()).then_some((off, len))
+}
+
+/// `st_name` bombs: point a random symbol's name offset far past the end
+/// of the string table. The resolver must answer "no such symbol" (or
+/// skip the record), never index out of bounds.
+fn sym_name_bomb(rng: &mut StdRng, bytes: &mut [u8]) {
+    const NAME_BOMBS: [u32; 5] = [u32::MAX, u32::MAX - 1, 0x8000_0000, 0x7FFF_FFFF, 1000];
+    let Some((off, len)) = section_span(bytes, ".symtab") else {
+        return;
+    };
+    let n = len / SYM_SIZE;
+    if n == 0 {
+        return;
+    }
+    let i = rng.gen_range(0..n);
+    put32(bytes, off + i * SYM_SIZE, *rng.choose(&NAME_BOMBS).unwrap());
+}
+
+/// `st_value` bombs: a symbol whose address sits on an overflow boundary.
+/// The hook planner lowers `st_value` into trampoline math (displaced
+/// ranges, `vaddr + size` extents); every step must be checked.
+fn sym_value_bomb(rng: &mut StdRng, bytes: &mut [u8]) {
+    let Some((off, len)) = section_span(bytes, ".symtab") else {
+        return;
+    };
+    let n = len / SYM_SIZE;
+    if n == 0 {
+        return;
+    }
+    let i = rng.gen_range(0..n);
+    put64(bytes, off + i * SYM_SIZE + 8, *rng.choose(&BOMBS64).unwrap());
+}
+
+/// String-table damage: either cut the file mid-`.strtab` (names run off
+/// the end of the file) or overwrite the NUL terminators (names become
+/// unterminated). Both bait unbounded `strlen`-style scans.
+fn strtab_damage(rng: &mut StdRng, bytes: &mut Vec<u8>) {
+    let Some((off, len)) = section_span(bytes, ".strtab") else {
+        return;
+    };
+    if len == 0 {
+        return;
+    }
+    if rng.gen_bool(0.5) {
+        bytes.truncate(off + rng.gen_range(0..len));
+    } else {
+        for b in &mut bytes[off..off + len] {
+            if *b == 0 {
+                *b = 0xFF;
+            }
+        }
     }
 }
 

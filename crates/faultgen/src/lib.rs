@@ -189,23 +189,25 @@ where
 }
 
 /// Run `cases` seeded mutants against the ELF surface: each case mutates
-/// the baseline image and feeds it to `Elf::parse`, then (if it still
-/// parses) to the VM loader. Any unwind is recorded as a panic.
+/// the symbol-bearing baseline image and feeds it to `Elf::parse`, then
+/// (if it still parses) through the hook-planning path and the VM loader.
+/// Any unwind is recorded as a panic.
 pub fn run_elf_campaign(seed: u64, cases: u32) -> CampaignReport {
-    let base = elf::baseline_elf();
+    let base = elf::baseline_elf_with_symbols();
     run_campaign(Surface::Elf, seed, cases, |rng| {
         let mutant = elf::mutate(rng, &base);
         elf_case(&mutant)
     })
 }
 
-/// Execute one ELF case (also used by corpus replay): parse, and load
-/// into a fresh VM when parsing succeeds.
+/// Execute one ELF case (also used by corpus replay): parse, probe the
+/// hook planner, and load into a fresh VM when parsing succeeds.
 pub fn elf_case(bytes: &[u8]) -> Outcome {
     let result = catch_unwind(AssertUnwindSafe(|| {
         match e9elf::image::Elf::parse(bytes) {
             Err(_) => Outcome::Rejected,
-            Ok(_) => {
+            Ok(elf) => {
+                hook_probe(bytes, &elf);
                 let mut vm = e9vm::Vm::new();
                 match e9vm::load_elf(&mut vm, bytes) {
                     Ok(()) => Outcome::Accepted,
@@ -215,6 +217,38 @@ pub fn elf_case(bytes: &[u8]) -> Outcome {
         }
     }));
     result.unwrap_or(Outcome::Panicked)
+}
+
+/// Drive the hook-planning path over an untrusted image. The planner
+/// resolves names out of the (possibly damaged) symbol tables and the
+/// manifest scanner reads load segments from the same hostile bytes; both
+/// must fail with typed errors, never unwind. Results are discarded — the
+/// surrounding `catch_unwind` in [`elf_case`] is the assertion.
+fn hook_probe(bytes: &[u8], elf: &e9elf::image::Elf) {
+    // Bounded sweep: enough decoded instructions for the planner to
+    // inspect prologues without letting an inflated segment size turn one
+    // case into a multi-megabyte disassembly.
+    const SWEEP_CAP: usize = 4096;
+    let mut disasm = Vec::new();
+    for ph in elf.load_segments() {
+        if ph.p_flags & e9elf::types::PF_X == 0 {
+            continue;
+        }
+        let len = usize::try_from(ph.p_filesz).unwrap_or(usize::MAX).min(SWEEP_CAP);
+        if let Ok(code) = elf.slice_at(ph.p_vaddr, len) {
+            disasm = e9x86::decode::linear_sweep(code, ph.p_vaddr);
+            break;
+        }
+    }
+    // Plain and call-original plans: the latter additionally pulls entry
+    // instructions through the relocation engine.
+    let _ = e9hook::plan_hooks(bytes, &disasm, &e9hook::HookSpec::counters(&["*"]));
+    let co = e9hook::HookSpec {
+        call_original: true,
+        ..e9hook::HookSpec::counters(&["*"])
+    };
+    let _ = e9hook::plan_hooks(bytes, &disasm, &co);
+    let _ = e9hook::manifest::find_in_elf(elf);
 }
 
 /// Run `cases` seeded mutants against the wire surface: each case mutates

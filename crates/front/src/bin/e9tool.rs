@@ -26,7 +26,12 @@ USAGE:
               [--jobs N] [--report] [--verify]
               [--backend stdio|/path/to.sock|tcp:ADDR:PORT]
               [--cache-dir DIR | --no-cache] [--cache-bypass-bytes N]
-  e9tool run  BINARY [--lowfat] [--max-steps N] [--hex-output]
+  e9tool hook BINARY -o OUT (--func NAME[,NAME..] | --addr ADDR[,ADDR..])
+              [--payload counter|nop] [--call-original]
+              [--no-t1] [--no-t2] [--no-t3] [--b0] [--granularity M] [--no-grouping]
+              [--jobs N] [--backend stdio|/path/to.sock|tcp:ADDR:PORT]
+              [--cache-dir DIR | --no-cache] [--cache-bypass-bytes N]
+  e9tool run  BINARY [--lowfat] [--max-steps N] [--hex-output] [--hook-counters]
   e9tool health --backend /path/to.sock|tcp:ADDR:PORT|stdio [--json]
 
 `gen --profile` accepts any Table 1 row name (perlbench, gcc, chrome, ...).
@@ -41,6 +46,14 @@ A hit is byte-identical to a cold rewrite. Inputs below the bypass
 threshold (--cache-bypass-bytes N or $E9CACHE_BYPASS_BYTES, default
 131072; 0 caches every size) skip the cache entirely — for tiny binaries
 the rewrite is cheaper than keying it.
+`hook` installs register-preserving function hooks at symbol-resolved
+entry points: --func takes exact names or shell globs (resolved against
+.symtab, falling back to .dynsym), --addr takes explicit entry addresses
+for stripped binaries. The default counter payload keeps one 64-bit
+call counter per hook, readable back with `run --hook-counters`;
+--call-original additionally relocates each displaced prologue
+instruction into an executable thunk the payload can call. Every hook
+job is recorded in a manifest segment inside the output binary.
 `health` asks a live daemon for its health surface — serving mode, cache
 tier state (including the disk circuit breaker), overload-shed counters
 and fault-injection status. It needs no version handshake, so it works
@@ -66,7 +79,7 @@ impl Args {
                     name,
                     "tiny" | "profile" | "scale" | "app" | "payload" | "granularity"
                         | "jobs" | "max-steps" | "limit" | "backend" | "cache-dir"
-                        | "cache-bypass-bytes"
+                        | "cache-bypass-bytes" | "func" | "addr"
                 );
                 if takes_value && i + 1 < argv.len() {
                     flags.insert(name.to_string(), argv[i + 1].clone());
@@ -351,6 +364,33 @@ fn backend_client(spec: &str) -> Result<e9proto::ProtoClient, String> {
     }
 }
 
+/// Build the rewriter configuration from the shared tactic/size/jobs
+/// flags (`patch` and `hook` accept the same set).
+fn rewrite_config_from(args: &Args) -> Result<RewriteConfig, String> {
+    Ok(RewriteConfig {
+        tactics: Tactics {
+            t1: !args.flag("no-t1"),
+            t2: !args.flag("no-t2"),
+            t3: !args.flag("no-t3"),
+        },
+        b0_fallback: args.flag("b0"),
+        grouping: !args.flag("no-grouping"),
+        granularity: args
+            .value("granularity")
+            .map(|s| s.parse().map_err(|_| "bad --granularity"))
+            .transpose()?
+            .unwrap_or(1),
+        jobs: args
+            .value("jobs")
+            .map(|s| match s.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err("bad --jobs (want an integer >= 1)"),
+            })
+            .transpose()?,
+        ..RewriteConfig::default()
+    })
+}
+
 fn cmd_patch(args: &Args) -> Result<(), String> {
     args.check_flags(&[
         "out",
@@ -393,28 +433,7 @@ fn cmd_patch(args: &Args) -> Result<(), String> {
         "trace" => Payload::Trace,
         other => return Err(format!("unknown --payload {other}")),
     };
-    let config = RewriteConfig {
-        tactics: Tactics {
-            t1: !args.flag("no-t1"),
-            t2: !args.flag("no-t2"),
-            t3: !args.flag("no-t3"),
-        },
-        b0_fallback: args.flag("b0"),
-        grouping: !args.flag("no-grouping"),
-        granularity: args
-            .value("granularity")
-            .map(|s| s.parse().map_err(|_| "bad --granularity"))
-            .transpose()?
-            .unwrap_or(1),
-        jobs: args
-            .value("jobs")
-            .map(|s| match s.parse::<usize>() {
-                Ok(n) if n >= 1 => Ok(n),
-                _ => Err("bad --jobs (want an integer >= 1)"),
-            })
-            .transpose()?,
-        ..RewriteConfig::default()
-    };
+    let config = rewrite_config_from(args)?;
 
     let opts = Options { app, payload, config };
     let mut cache_summary = None;
@@ -518,8 +537,159 @@ fn cmd_patch(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse one address: decimal or `0x`-prefixed hex.
+fn parse_addr(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    let parsed = match t.strip_prefix("0x") {
+        Some(h) => u64::from_str_radix(h, 16),
+        None => t.parse(),
+    };
+    parsed.map_err(|_| format!("bad address {t:?} (want decimal or 0x-prefixed hex)"))
+}
+
+fn cmd_hook(args: &Args) -> Result<(), String> {
+    args.check_flags(&[
+        "out",
+        "func",
+        "addr",
+        "payload",
+        "call-original",
+        "no-t1",
+        "no-t2",
+        "no-t3",
+        "b0",
+        "granularity",
+        "jobs",
+        "no-grouping",
+        "backend",
+        "cache-dir",
+        "no-cache",
+        "cache-bypass-bytes",
+    ])?;
+    let cache_dir = resolve_cache_dir(args)?;
+    let bypass_bytes = resolve_bypass_bytes(args)?;
+    let path = args.positional.first().ok_or("hook requires BINARY")?;
+    let out_path = args.value("out").ok_or("hook requires -o OUT")?;
+    let bytes = read_input(path)?;
+    parse_input(path, &bytes)?;
+
+    let funcs: Vec<String> = args
+        .value("func")
+        .map(|v| {
+            v.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+                .collect()
+        })
+        .unwrap_or_default();
+    let addrs: Vec<u64> = args
+        .value("addr")
+        .map(|v| {
+            v.split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(parse_addr)
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .transpose()?
+        .unwrap_or_default();
+    if funcs.is_empty() && addrs.is_empty() {
+        return Err("hook requires --func NAME[,NAME..] or --addr ADDR[,ADDR..]".into());
+    }
+    let payload = match args.value("payload").unwrap_or("counter") {
+        "counter" => e9hook::PayloadKind::Counter,
+        "nop" => e9hook::PayloadKind::Nop,
+        other => return Err(format!("unknown --payload {other} (hook wants counter|nop)")),
+    };
+    let spec = e9hook::HookSpec {
+        funcs,
+        addrs,
+        call_original: args.flag("call-original"),
+        payload,
+    };
+    let config = rewrite_config_from(args)?;
+
+    // Text frontend with the executable-segment fallback: stripped
+    // binaries (the --addr targeting mode) often have no .text section.
+    let disasm = match e9front::disassemble_text(&bytes) {
+        Ok(d) => d,
+        Err(_) => e9front::disassemble_exec_segments(&bytes).map_err(|e| e.to_string())?,
+    };
+    let mut cache_summary = None;
+    let res = match args.value("backend") {
+        None => match &cache_dir {
+            None => e9front::hook_with_disasm(&bytes, &disasm, &spec, config)
+                .map_err(|e| e.to_string())?,
+            Some(dir) => {
+                let cache = e9cache::Cache::open(&e9cache::CacheConfig {
+                    dir: Some(dir.clone()),
+                    bypass_bytes,
+                    ..e9cache::CacheConfig::default()
+                })
+                .map_err(|e| format!("cannot open cache {}: {e}", dir.display()))?;
+                let res = e9front::hook_cached(&bytes, &disasm, &spec, config, &cache)
+                    .map_err(|e| e.to_string())?;
+                cache_summary = Some(cache.stats().summary());
+                res
+            }
+        },
+        Some(backend) => {
+            let mut client = backend_client(backend)?;
+            e9front::hook_via_backend(&bytes, &disasm, &spec, config, &mut client)
+                .map_err(|e| e.to_string())?
+        }
+    };
+    if let Some(c) = &res.cache {
+        let digest = c.digest.as_deref().unwrap_or("");
+        match c.disposition {
+            e9proto::CacheDisposition::Hit => println!("cache: hit {digest}"),
+            e9proto::CacheDisposition::Bypass => {
+                println!("cache: bypass (input below threshold, not keyed)");
+            }
+            _ => println!("cache: miss — stored {digest}"),
+        }
+    }
+    if let Some(summary) = cache_summary {
+        println!("{summary}");
+    }
+    e9front::output::write_atomic(std::path::Path::new(out_path), &res.rewrite.binary)
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    for h in &res.hooks {
+        println!(
+            "  hook {:>3} {:<24} {:#012x} payload {:#x}{}",
+            h.id,
+            h.name,
+            h.func_addr,
+            h.payload_addr,
+            if h.is_call_original() {
+                format!(" thunk {:#x}", h.thunk_addr)
+            } else {
+                String::new()
+            }
+        );
+    }
+    let s = res.rewrite.stats;
+    println!(
+        "hooked {}/{} function(s) (manifest {:#x}{})",
+        s.succeeded() + s.b0,
+        res.hooks.len(),
+        res.manifest_addr,
+        match res.counters_addr {
+            Some(a) => format!(", counters {a:#x}"),
+            None => String::new(),
+        }
+    );
+    println!(
+        "output {}: {} bytes ({:.1}% of input)",
+        out_path,
+        res.rewrite.binary.len(),
+        res.rewrite.size.size_pct(),
+    );
+    Ok(())
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
-    args.check_flags(&["lowfat", "max-steps", "hex-output"])?;
+    args.check_flags(&["lowfat", "max-steps", "hex-output", "hook-counters"])?;
     let path = args.positional.first().ok_or("run requires BINARY")?;
     let bytes = read_input(path)?;
     let max_steps: u64 = args
@@ -543,6 +713,28 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         "exit {} | {} instructions retired | cost {}",
         r.exit_code, r.insns, r.steps
     );
+    if args.flag("hook-counters") {
+        // Read the per-hook call counters back through the binary's own
+        // manifest. Reported on stderr (like the exit line) so stdout
+        // stays byte-comparable program output.
+        let elf = parse_input(path, &bytes)?;
+        match e9hook::manifest::find_in_elf(&elf).map_err(|e| format!("{path}: {e}"))? {
+            None => eprintln!("{path}: no hook manifest"),
+            Some(recs) => {
+                for h in &recs {
+                    let calls = if h.counter_addr != 0 {
+                        vm.mem.read_le(h.counter_addr, 8).unwrap_or(0)
+                    } else {
+                        0
+                    };
+                    eprintln!(
+                        "hook {:>3} {:<24} {:#012x} calls {}",
+                        h.id, h.name, h.func_addr, calls
+                    );
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -606,6 +798,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&args),
         "disasm" => cmd_disasm(&args),
         "patch" => cmd_patch(&args),
+        "hook" => cmd_hook(&args),
         "run" => cmd_run(&args),
         "health" => cmd_health(&args),
         _ => return usage(),

@@ -113,6 +113,8 @@ pub enum FrontError {
     Input(String),
     /// Rewriting failed.
     Rewrite(e9patch::Error),
+    /// Hook planning failed (symbol resolution, unrelocatable prologue).
+    Hook(e9hook::HookError),
     /// The external patch backend failed (protocol, transport, or an
     /// in-band error reply).
     Backend(String),
@@ -131,6 +133,7 @@ impl std::fmt::Display for FrontError {
         match self {
             FrontError::Input(m) => write!(f, "bad input: {m}"),
             FrontError::Rewrite(e) => write!(f, "rewrite failed: {e}"),
+            FrontError::Hook(e) => write!(f, "hook planning failed: {e}"),
             FrontError::Backend(m) => write!(f, "backend failed: {m}"),
             FrontError::CachedFailure { code, message } => {
                 write!(f, "rewrite failed (cached, code {code}): {message}")
@@ -150,6 +153,12 @@ impl From<e9patch::Error> for FrontError {
 impl From<e9proto::ClientError> for FrontError {
     fn from(e: e9proto::ClientError) -> Self {
         FrontError::Backend(e.to_string())
+    }
+}
+
+impl From<e9hook::HookError> for FrontError {
+    fn from(e: e9hook::HookError) -> Self {
+        FrontError::Hook(e)
     }
 }
 
@@ -294,7 +303,13 @@ pub fn instrument_with_disasm(
     opts: &Options,
 ) -> Result<Instrumented, FrontError> {
     let p = plan(binary, disasm, opts)?;
-    let rewrite = Rewriter::new(opts.config).rewrite(binary, disasm, &p.requests, &p.extra)?;
+    let rewrite = run_job(&Job {
+        binary,
+        disasm,
+        requests: &p.requests,
+        extra: &p.extra,
+        config: opts.config,
+    })?;
     Ok(Instrumented {
         rewrite,
         sites: p.sites.len(),
@@ -303,6 +318,187 @@ pub fn instrument_with_disasm(
         trace_addr: p.trace_addr,
         cache: None,
     })
+}
+
+/// One fully-planned rewrite job: the batch every execution path —
+/// in-process ([`run_job`]), cached ([`run_job_cached`]) and protocol
+/// backend ([`run_job_via_backend`]) — consumes identically. Any driver
+/// that lowers its work to a `Job` (instrumentation via [`plan`], hooking
+/// via [`e9hook::plan_hooks`]) inherits the byte-identity guarantee
+/// across all three paths for free.
+#[derive(Debug, Clone, Copy)]
+pub struct Job<'a> {
+    /// The input binary.
+    pub binary: &'a [u8],
+    /// Disassembly info (instruction locations and sizes).
+    pub disasm: &'a [Insn],
+    /// The patch batch.
+    pub requests: &'a [PatchRequest],
+    /// Runtime segments to inject.
+    pub extra: &'a [ExtraSegment],
+    /// Rewriter configuration.
+    pub config: RewriteConfig,
+}
+
+/// Execute a job with the in-process [`Rewriter`].
+///
+/// # Errors
+///
+/// Rewriting failures. Per-site patch failures are *not* errors; see
+/// [`RewriteOutput::stats`].
+pub fn run_job(job: &Job) -> Result<RewriteOutput, FrontError> {
+    Rewriter::new(job.config)
+        .rewrite(job.binary, job.disasm, job.requests, job.extra)
+        .map_err(FrontError::Rewrite)
+}
+
+/// Execute a job through a rewrite cache. The key is derived exactly as
+/// an `e9patchd` session would derive it (same codec, same config
+/// encoding), so the in-process path and a daemon with the same
+/// `--cache-dir` share artifacts. Corrupt or unreadable entries degrade
+/// to a cold rewrite.
+///
+/// # Errors
+///
+/// As [`run_job`], plus [`FrontError::CachedFailure`] when a negative
+/// entry short-circuits a known-failing job.
+pub fn run_job_cached(
+    job: &Job,
+    cache: &e9cache::Cache,
+) -> Result<(RewriteOutput, CacheOutcome), FrontError> {
+    if cache.should_bypass(job.binary.len() as u64) {
+        // Below the break-even size the rewrite is cheaper than keying
+        // it: run cold, report the bypass, store nothing (failures
+        // included — a negative entry would pay the keying cost too).
+        let rewrite = run_job(job)?;
+        return Ok((
+            rewrite,
+            CacheOutcome {
+                disposition: e9proto::CacheDisposition::Bypass,
+                digest: None,
+            },
+        ));
+    }
+    // Hash the input exactly once (shard-parallel under --jobs; the tree
+    // digest is jobs-invariant so the key is too).
+    let bin_digest = e9cache::tree::tree_digest(job.binary, job.config.jobs.unwrap_or(1));
+    let key = e9proto::cachekey::rewrite_key_from_digest(
+        &bin_digest,
+        job.disasm,
+        job.extra,
+        job.requests,
+        &job.config,
+    );
+    let digest = Some(e9cache::sha256::hex(&key));
+    match cache.lookup(&key) {
+        Some(e9cache::Hit::Payload(blob)) => {
+            // Stored payload is the compact binary emit reply of the cold
+            // run, served as a zero-copy view; an undecodable one falls
+            // through to a cold rewrite.
+            if let Ok(reply) = e9proto::EmitReply::decode_bin(&blob) {
+                return Ok((
+                    output_from_reply(reply),
+                    CacheOutcome {
+                        disposition: e9proto::CacheDisposition::Hit,
+                        digest,
+                    },
+                ));
+            }
+        }
+        Some(e9cache::Hit::Negative { code, message }) => {
+            return Err(FrontError::CachedFailure { code, message });
+        }
+        None => {}
+    }
+    match run_job(job) {
+        Ok(rewrite) => {
+            let stored = reply_from_output(&rewrite).encode_bin();
+            cache.put(&key, &e9cache::Entry::Ok(stored));
+            Ok((
+                rewrite,
+                CacheOutcome {
+                    disposition: e9proto::CacheDisposition::Miss,
+                    digest,
+                },
+            ))
+        }
+        Err(FrontError::Rewrite(e)) => {
+            // Rewrite failures are deterministic — cache them as negative
+            // entries so the next attempt replays the typed error.
+            cache.put(
+                &key,
+                &e9cache::Entry::Negative {
+                    code: e9proto::msg::code::REWRITE,
+                    message: e.to_string(),
+                },
+            );
+            Err(FrontError::Rewrite(e))
+        }
+        Err(other) => Err(other),
+    }
+}
+
+/// Stream a job's shared inputs — protocol handshake, rewriter options,
+/// binary (with its pre-computed tree digest) and disassembly info — to a
+/// backend. Patch-batch delivery is the caller's: explicit
+/// `reserve`/`patch` streaming ([`run_job_via_backend`]) or server-side
+/// planning (the `hook` command).
+fn send_job_inputs(
+    client: &mut e9proto::ProtoClient,
+    binary: &[u8],
+    disasm: &[Insn],
+    cfg: &RewriteConfig,
+) -> Result<(), FrontError> {
+    client.negotiate()?;
+    let bool_str = |b: bool| if b { "true" } else { "false" };
+    client.option("t1", bool_str(cfg.tactics.t1))?;
+    client.option("t2", bool_str(cfg.tactics.t2))?;
+    client.option("t3", bool_str(cfg.tactics.t3))?;
+    client.option("b0", bool_str(cfg.b0_fallback))?;
+    client.option("grouping", bool_str(cfg.grouping))?;
+    client.option("granularity", &cfg.granularity.to_string())?;
+    client.option(
+        "alloc",
+        match cfg.alloc_policy {
+            e9patch::AllocPolicy::FirstFitLow => "low",
+            e9patch::AllocPolicy::FirstFitHigh => "high",
+        },
+    )?;
+    if let Some(n) = cfg.jobs {
+        client.option("jobs", &n.to_string())?;
+    }
+    // Digest-once: hash the input here (with the planner's worker count),
+    // send it alongside the bytes, and the server verifies it at intake
+    // instead of re-hashing at every emit.
+    let bin_digest = e9cache::tree::tree_digest(binary, cfg.jobs.unwrap_or(1));
+    client.binary_with_digest(binary, &bin_digest)?;
+    for i in disasm {
+        client.instruction(i.addr, i.bytes())?;
+    }
+    Ok(())
+}
+
+/// Execute a job through a protocol backend. The plan, wire round trip
+/// and server-side re-decode preserve every input bit, so the output is
+/// byte-identical to [`run_job`] for the same job.
+///
+/// # Errors
+///
+/// Any transport or in-band backend failure.
+pub fn run_job_via_backend(
+    job: &Job,
+    client: &mut e9proto::ProtoClient,
+) -> Result<(RewriteOutput, Option<CacheOutcome>), FrontError> {
+    send_job_inputs(client, job.binary, job.disasm, &job.config)?;
+    for seg in job.extra {
+        client.reserve(seg)?;
+    }
+    for r in job.requests {
+        client.patch(r.addr, r.template.clone())?;
+    }
+    let reply = client.emit()?;
+    let cache = CacheOutcome::from_reply(&reply);
+    Ok((output_from_reply(reply), cache))
 }
 
 /// Select sites and build the payload runtime for `binary`, without
@@ -439,53 +635,24 @@ pub fn instrument_via_backend(
     client: &mut e9proto::ProtoClient,
 ) -> Result<Instrumented, FrontError> {
     let p = plan(binary, disasm, opts)?;
-    client.negotiate()?;
-
-    let cfg = &opts.config;
-    let bool_str = |b: bool| if b { "true" } else { "false" };
-    client.option("t1", bool_str(cfg.tactics.t1))?;
-    client.option("t2", bool_str(cfg.tactics.t2))?;
-    client.option("t3", bool_str(cfg.tactics.t3))?;
-    client.option("b0", bool_str(cfg.b0_fallback))?;
-    client.option("grouping", bool_str(cfg.grouping))?;
-    client.option("granularity", &cfg.granularity.to_string())?;
-    client.option(
-        "alloc",
-        match cfg.alloc_policy {
-            e9patch::AllocPolicy::FirstFitLow => "low",
-            e9patch::AllocPolicy::FirstFitHigh => "high",
+    let (rewrite, cache) = run_job_via_backend(
+        &Job {
+            binary,
+            disasm,
+            requests: &p.requests,
+            extra: &p.extra,
+            config: opts.config,
         },
+        client,
     )?;
-    if let Some(n) = cfg.jobs {
-        client.option("jobs", &n.to_string())?;
-    }
-
-    // Digest-once: hash the input here (with the planner's worker count),
-    // send it alongside the bytes, and the server verifies it at intake
-    // instead of re-hashing at every emit.
-    let bin_digest = e9cache::tree::tree_digest(binary, cfg.jobs.unwrap_or(1));
-    client.binary_with_digest(binary, &bin_digest)?;
-    for seg in &p.extra {
-        client.reserve(seg)?;
-    }
-    for i in disasm {
-        client.instruction(i.addr, i.bytes())?;
-    }
-    for r in &p.requests {
-        client.patch(r.addr, r.template.clone())?;
-    }
-    let reply = client.emit()?;
-    let cache = CacheOutcome::from_reply(&reply);
-    let mut out = Instrumented {
-        rewrite: output_from_reply(reply),
+    Ok(Instrumented {
+        rewrite,
         sites: p.sites.len(),
         violations_addr: p.violations_addr,
         counter_addr: p.counter_addr,
         trace_addr: p.trace_addr,
-        cache: None,
-    };
-    out.cache = cache;
-    Ok(out)
+        cache,
+    })
 }
 
 /// Convert a wire [`e9proto::EmitReply`] back into the in-process
@@ -577,87 +744,157 @@ pub fn instrument_cached(
     cache: &e9cache::Cache,
 ) -> Result<Instrumented, FrontError> {
     let p = plan(binary, disasm, opts)?;
-    if cache.should_bypass(binary.len() as u64) {
-        // Below the break-even size the rewrite is cheaper than keying
-        // it: run cold, report the bypass, store nothing (failures
-        // included — a negative entry would pay the keying cost too).
-        let rewrite = Rewriter::new(opts.config)
-            .rewrite(binary, disasm, &p.requests, &p.extra)
-            .map_err(FrontError::Rewrite)?;
-        return Ok(Instrumented {
-            rewrite,
-            sites: p.sites.len(),
-            violations_addr: p.violations_addr,
-            counter_addr: p.counter_addr,
-            trace_addr: p.trace_addr,
-            cache: Some(CacheOutcome {
-                disposition: e9proto::CacheDisposition::Bypass,
-                digest: None,
-            }),
-        });
-    }
-    // Hash the input exactly once (shard-parallel under --jobs; the tree
-    // digest is jobs-invariant so the key is too).
-    let bin_digest = e9cache::tree::tree_digest(binary, opts.config.jobs.unwrap_or(1));
-    let key = e9proto::cachekey::rewrite_key_from_digest(
-        &bin_digest,
+    let (rewrite, outcome) = run_job_cached(
+        &Job {
+            binary,
+            disasm,
+            requests: &p.requests,
+            extra: &p.extra,
+            config: opts.config,
+        },
+        cache,
+    )?;
+    Ok(Instrumented {
+        rewrite,
+        sites: p.sites.len(),
+        violations_addr: p.violations_addr,
+        counter_addr: p.counter_addr,
+        trace_addr: p.trace_addr,
+        cache: Some(outcome),
+    })
+}
+
+// ---- hooking driver ------------------------------------------------------
+
+/// Result of the hooking drivers ([`hook_functions`] and friends).
+#[derive(Debug)]
+pub struct Hooked {
+    /// Rewriting output (hooked binary + statistics).
+    pub rewrite: RewriteOutput,
+    /// One record per installed hook, in function-address order — the
+    /// same records the binary's manifest segment carries.
+    pub hooks: Vec<e9hook::HookRecord>,
+    /// Base of the per-hook counter table (counter payloads only); hook
+    /// `i`'s cell is at `counters_addr + 8*i`.
+    pub counters_addr: Option<u64>,
+    /// Address of the in-binary hook manifest.
+    pub manifest_addr: u64,
+    /// How the rewrite cache participated (`None` = no cache in play).
+    pub cache: Option<CacheOutcome>,
+}
+
+/// Hook functions in `binary` per `spec`: disassemble, resolve symbols,
+/// plan trampolines and rewrite in-process. Uses the `.text` frontend
+/// with the executable-segment fallback for section-stripped binaries
+/// (where [`e9hook::HookSpec::addrs`] is the expected targeting mode).
+///
+/// # Errors
+///
+/// Disassembly, hook-planning and rewriting failures.
+pub fn hook_functions(
+    binary: &[u8],
+    spec: &e9hook::HookSpec,
+    config: RewriteConfig,
+) -> Result<Hooked, FrontError> {
+    let disasm = match disassemble_text(binary) {
+        Ok(d) => d,
+        Err(_) => disassemble_exec_segments(binary)?,
+    };
+    hook_with_disasm(binary, &disasm, spec, config)
+}
+
+/// [`hook_functions`] with caller-provided disassembly info.
+///
+/// # Errors
+///
+/// As [`hook_functions`].
+pub fn hook_with_disasm(
+    binary: &[u8],
+    disasm: &[Insn],
+    spec: &e9hook::HookSpec,
+    config: RewriteConfig,
+) -> Result<Hooked, FrontError> {
+    let plan = e9hook::plan_hooks(binary, disasm, spec)?;
+    let rewrite = run_job(&Job {
+        binary,
         disasm,
-        &p.extra,
-        &p.requests,
-        &opts.config,
-    );
-    let digest = Some(e9cache::sha256::hex(&key));
-    match cache.lookup(&key) {
-        Some(e9cache::Hit::Payload(blob)) => {
-            // Stored payload is the compact binary emit reply of the cold
-            // run, served as a zero-copy view; an undecodable one falls
-            // through to a cold rewrite.
-            if let Ok(reply) = e9proto::EmitReply::decode_bin(&blob) {
-                return Ok(Instrumented {
-                    rewrite: output_from_reply(reply),
-                    sites: p.sites.len(),
-                    violations_addr: p.violations_addr,
-                    counter_addr: p.counter_addr,
-                    trace_addr: p.trace_addr,
-                    cache: Some(CacheOutcome {
-                        disposition: e9proto::CacheDisposition::Hit,
-                        digest,
-                    }),
-                });
-            }
-        }
-        Some(e9cache::Hit::Negative { code, message }) => {
-            return Err(FrontError::CachedFailure { code, message });
-        }
-        None => {}
-    }
-    match Rewriter::new(opts.config).rewrite(binary, disasm, &p.requests, &p.extra) {
-        Ok(rewrite) => {
-            let stored = reply_from_output(&rewrite).encode_bin();
-            cache.put(&key, &e9cache::Entry::Ok(stored));
-            Ok(Instrumented {
-                rewrite,
-                sites: p.sites.len(),
-                violations_addr: p.violations_addr,
-                counter_addr: p.counter_addr,
-                trace_addr: p.trace_addr,
-                cache: Some(CacheOutcome {
-                    disposition: e9proto::CacheDisposition::Miss,
-                    digest,
-                }),
-            })
-        }
-        Err(e) => {
-            cache.put(
-                &key,
-                &e9cache::Entry::Negative {
-                    code: e9proto::msg::code::REWRITE,
-                    message: e.to_string(),
-                },
-            );
-            Err(FrontError::Rewrite(e))
-        }
-    }
+        requests: &plan.requests,
+        extra: &plan.extra,
+        config,
+    })?;
+    Ok(Hooked {
+        rewrite,
+        hooks: plan.hooks,
+        counters_addr: plan.counters_addr,
+        manifest_addr: plan.manifest_addr,
+        cache: None,
+    })
+}
+
+/// [`hook_with_disasm`] through a rewrite cache. Hook planning is
+/// deterministic, so the lowered batch — and therefore the cache key —
+/// is identical for identical (binary, spec, config), and a warm hit
+/// returns bytes identical to the cold rewrite.
+///
+/// # Errors
+///
+/// As [`hook_with_disasm`], plus [`FrontError::CachedFailure`].
+pub fn hook_cached(
+    binary: &[u8],
+    disasm: &[Insn],
+    spec: &e9hook::HookSpec,
+    config: RewriteConfig,
+    cache: &e9cache::Cache,
+) -> Result<Hooked, FrontError> {
+    let plan = e9hook::plan_hooks(binary, disasm, spec)?;
+    let (rewrite, outcome) = run_job_cached(
+        &Job {
+            binary,
+            disasm,
+            requests: &plan.requests,
+            extra: &plan.extra,
+            config,
+        },
+        cache,
+    )?;
+    Ok(Hooked {
+        rewrite,
+        hooks: plan.hooks,
+        counters_addr: plan.counters_addr,
+        manifest_addr: plan.manifest_addr,
+        cache: Some(outcome),
+    })
+}
+
+/// [`hook_with_disasm`] through a protocol backend: the spec travels
+/// over the wire as one `hook` command and the *server* plans it against
+/// its copy of the binary and disassembly. Server-side planning buffers
+/// the same batch a local plan would have streamed, so the emitted
+/// binary — and the daemon's cache key for it — is byte-identical to
+/// every other path.
+///
+/// # Errors
+///
+/// Planning errors (returned in-band by the server), plus any transport
+/// or backend failure.
+pub fn hook_via_backend(
+    binary: &[u8],
+    disasm: &[Insn],
+    spec: &e9hook::HookSpec,
+    config: RewriteConfig,
+    client: &mut e9proto::ProtoClient,
+) -> Result<Hooked, FrontError> {
+    send_job_inputs(client, binary, disasm, &config)?;
+    let planned = client.hook(spec)?;
+    let reply = client.emit()?;
+    let cache = CacheOutcome::from_reply(&reply);
+    Ok(Hooked {
+        rewrite: output_from_reply(reply),
+        hooks: planned.hooks,
+        counters_addr: planned.counters_addr,
+        manifest_addr: planned.manifest_addr,
+        cache,
+    })
 }
 
 #[cfg(test)]
@@ -893,6 +1130,65 @@ mod tests {
         let direct = instrument_with_disasm(&sb.binary, &sb.disasm, &opts).unwrap();
         assert_eq!(warm.rewrite.binary, direct.rewrite.binary);
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn hook_counter_counts_and_preserves_output() {
+        let sb = sample();
+        let orig = e9vm::run_binary(&sb.binary, 50_000_000).unwrap();
+        let spec = e9hook::HookSpec::counters(&["f*"]);
+        let out =
+            hook_with_disasm(&sb.binary, &sb.disasm, &spec, RewriteConfig::default()).unwrap();
+        assert!(!out.hooks.is_empty());
+        let mut vm = e9vm::Vm::new();
+        e9vm::load_elf(&mut vm, &out.rewrite.binary).unwrap();
+        let hooked = vm.run(200_000_000).unwrap();
+        assert_eq!(hooked.output, orig.output);
+        assert_eq!(hooked.exit_code, orig.exit_code);
+        // At least one hooked function actually ran and was counted.
+        let total: u64 = out
+            .hooks
+            .iter()
+            .map(|h| vm.mem.read_le(h.counter_addr, 8).unwrap())
+            .sum();
+        assert!(total > 0, "no hook fired");
+        // The manifest embedded in the output names the same hooks.
+        let elf = Elf::parse(&out.rewrite.binary).unwrap();
+        let recs = e9hook::manifest::find_in_elf(&elf).unwrap().unwrap();
+        assert_eq!(recs, out.hooks);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn hook_paths_are_byte_identical() {
+        let sb = sample();
+        let spec = e9hook::HookSpec::counters(&["f*"]);
+        let cfg = RewriteConfig::default();
+        let direct = hook_with_disasm(&sb.binary, &sb.disasm, &spec, cfg).unwrap();
+
+        // Cached: cold miss then warm hit, both identical to direct.
+        let cache = e9cache::Cache::in_memory_no_bypass();
+        let cold = hook_cached(&sb.binary, &sb.disasm, &spec, cfg, &cache).unwrap();
+        let warm = hook_cached(&sb.binary, &sb.disasm, &spec, cfg, &cache).unwrap();
+        assert_eq!(
+            cold.cache.as_ref().unwrap().disposition,
+            e9proto::CacheDisposition::Miss
+        );
+        assert_eq!(
+            warm.cache.as_ref().unwrap().disposition,
+            e9proto::CacheDisposition::Hit
+        );
+        assert_eq!(cold.rewrite.binary, direct.rewrite.binary);
+        assert_eq!(warm.rewrite.binary, direct.rewrite.binary);
+
+        // Daemon: the server plans the spec itself; same bytes, same
+        // records.
+        let mut client = e9proto::ProtoClient::in_process().unwrap();
+        let via = hook_via_backend(&sb.binary, &sb.disasm, &spec, cfg, &mut client).unwrap();
+        assert_eq!(via.rewrite.binary, direct.rewrite.binary);
+        assert_eq!(via.hooks, direct.hooks);
+        assert_eq!(via.counters_addr, direct.counters_addr);
+        assert_eq!(via.manifest_addr, direct.manifest_addr);
     }
 
     #[test]

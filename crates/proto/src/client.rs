@@ -14,8 +14,8 @@
 //!   and benchmarks.
 
 use crate::json;
-use crate::msg::{CacheAction, CacheStatsReply, Command, EmitReply, HealthReply, Request,
-                 Response, RpcError, PROTOCOL_VERSION};
+use crate::msg::{CacheAction, CacheStatsReply, Command, EmitReply, HealthReply, HookReply,
+                 Request, Response, RpcError, PROTOCOL_VERSION};
 use e9failpt::retry::{retry_interrupted, with_backoff, Backoff, EINTR_BUDGET};
 use e9patch::{ExtraSegment, Template};
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -388,6 +388,24 @@ impl ProtoClient {
     pub fn patch(&mut self, addr: u64, template: Template) -> Result<(), ClientError> {
         self.call(Command::Patch { addr, template })?;
         Ok(())
+    }
+
+    /// Plan a hook batch server-side from `spec`. The server resolves
+    /// symbols against the loaded binary, buffers the resulting patch
+    /// batch, and returns the planned hook records; a following
+    /// [`emit`](ProtoClient::emit) runs the rewrite.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtoClient::call`], plus reply-decoding failures.
+    pub fn hook(&mut self, spec: &e9hook::HookSpec) -> Result<HookReply, ClientError> {
+        let v = self.call(Command::Hook {
+            funcs: spec.funcs.clone(),
+            addrs: spec.addrs.clone(),
+            call_original: spec.call_original,
+            payload: spec.payload.clone(),
+        })?;
+        HookReply::from_json(&v).map_err(ClientError::Protocol)
     }
 
     /// Run the rewrite and fetch the patched binary + statistics.

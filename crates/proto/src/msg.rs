@@ -151,6 +151,24 @@ pub enum Command {
         /// Trampoline payload.
         template: Template,
     },
+    /// Plan a symbol-driven hook batch server-side (`e9hook`): resolve
+    /// the spec against the session's binary and buffered disassembly,
+    /// and buffer the resulting reserve/patch batch exactly as if the
+    /// client had streamed it. Must arrive after `binary` and the
+    /// `instruction` stream; a following `emit` runs the rewrite. Because
+    /// planning is deterministic, the buffered batch — and therefore the
+    /// emitted binary and its cache key — is byte-identical to a client
+    /// planning the same spec locally.
+    Hook {
+        /// Function name patterns (exact or glob).
+        funcs: Vec<String>,
+        /// Explicit entry addresses (stripped-binary fallback).
+        addrs: Vec<u64>,
+        /// Build call-original thunks.
+        call_original: bool,
+        /// Payload body.
+        payload: e9hook::PayloadKind,
+    },
     /// Run the rewrite over everything buffered and return the patched
     /// binary plus statistics.
     Emit,
@@ -208,6 +226,7 @@ impl Command {
             Command::Reserve { .. } => "reserve",
             Command::Instruction { .. } => "instruction",
             Command::Patch { .. } => "patch",
+            Command::Hook { .. } => "hook",
             Command::Emit => "emit",
             Command::Cache { .. } => "cache",
             Command::Health => "health",
@@ -261,9 +280,54 @@ impl Command {
                 ("addr", Json::Int(*addr as i128)),
                 ("template", template_to_json(template)),
             ]),
+            Command::Hook {
+                funcs,
+                addrs,
+                call_original,
+                payload,
+            } => obj(vec![
+                (
+                    "funcs",
+                    Json::Arr(funcs.iter().map(|f| Json::Str(f.clone())).collect()),
+                ),
+                (
+                    "addrs",
+                    Json::Arr(addrs.iter().map(|&a| Json::Int(a as i128)).collect()),
+                ),
+                ("call_original", Json::Bool(*call_original)),
+                ("payload", payload_to_json(payload)),
+            ]),
             Command::Cache { action } => obj(vec![("action", Json::Str(action.name().into()))]),
             Command::Emit | Command::Health | Command::Shutdown => Json::Obj(Vec::new()),
         }
+    }
+}
+
+/// Hook payloads on the wire: `{"kind":K, ...}`.
+fn payload_to_json(p: &e9hook::PayloadKind) -> Json {
+    match p {
+        e9hook::PayloadKind::Counter => obj(vec![("kind", Json::Str("counter".into()))]),
+        e9hook::PayloadKind::Nop => obj(vec![("kind", Json::Str("nop".into()))]),
+        e9hook::PayloadKind::Raw(code) => obj(vec![
+            ("kind", Json::Str("raw".into())),
+            ("code", Json::Str(hex_encode(code))),
+        ]),
+    }
+}
+
+fn payload_from_json(v: &Json) -> Result<e9hook::PayloadKind, RpcError> {
+    let bad = |m: &str| RpcError::invalid_params(format!("payload: {m}"));
+    match v.get("kind").and_then(Json::as_str) {
+        Some("counter") => Ok(e9hook::PayloadKind::Counter),
+        Some("nop") => Ok(e9hook::PayloadKind::Nop),
+        Some("raw") => v
+            .get("code")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing code"))
+            .and_then(|s| hex_decode(s).map_err(|e| bad(&e)))
+            .map(e9hook::PayloadKind::Raw),
+        Some(other) => Err(bad(&format!("unknown kind {other:?}"))),
+        None => Err(bad("missing kind")),
     }
 }
 
@@ -282,6 +346,18 @@ fn template_to_json(t: &Template) -> Json {
         Template::HookCall { func_addr } => obj(vec![
             ("kind", Json::Str("hookcall".into())),
             ("func_addr", Json::Int(*func_addr as i128)),
+        ]),
+        Template::HookSave { func_addr } => obj(vec![
+            ("kind", Json::Str("hooksave".into())),
+            ("func_addr", Json::Int(*func_addr as i128)),
+        ]),
+        Template::HookOriginal {
+            func_addr,
+            thunk_addr,
+        } => obj(vec![
+            ("kind", Json::Str("hookoriginal".into())),
+            ("func_addr", Json::Int(*func_addr as i128)),
+            ("thunk_addr", Json::Int(*thunk_addr as i128)),
         ]),
         Template::Replace { code, resume } => obj(vec![
             ("kind", Json::Str("replace".into())),
@@ -318,6 +394,13 @@ fn template_from_json(v: &Json) -> Result<Template, RpcError> {
         }),
         "hookcall" => Ok(Template::HookCall {
             func_addr: addr_field("func_addr")?,
+        }),
+        "hooksave" => Ok(Template::HookSave {
+            func_addr: addr_field("func_addr")?,
+        }),
+        "hookoriginal" => Ok(Template::HookOriginal {
+            func_addr: addr_field("func_addr")?,
+            thunk_addr: addr_field("thunk_addr")?,
         }),
         "replace" => {
             let code = v
@@ -427,6 +510,40 @@ impl Request {
                     p.get("template").ok_or_else(|| missing("template"))?,
                 )?,
             },
+            "hook" => {
+                let str_arr = |name: &str| -> Result<Vec<String>, RpcError> {
+                    p.get(name)
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| missing(name))?
+                        .iter()
+                        .map(|j| {
+                            j.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| RpcError::invalid_params(format!("{name}: expected strings")))
+                        })
+                        .collect()
+                };
+                let u64_arr = |name: &str| -> Result<Vec<u64>, RpcError> {
+                    p.get(name)
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| missing(name))?
+                        .iter()
+                        .map(|j| {
+                            j.as_u64().ok_or_else(|| {
+                                RpcError::invalid_params(format!("{name}: expected integers"))
+                            })
+                        })
+                        .collect()
+                };
+                Command::Hook {
+                    funcs: str_arr("funcs")?,
+                    addrs: u64_arr("addrs")?,
+                    call_original: bool_field("call_original")?,
+                    payload: payload_from_json(
+                        p.get("payload").ok_or_else(|| missing("payload"))?,
+                    )?,
+                }
+            }
             "emit" => Command::Emit,
             "cache" => Command::Cache {
                 action: p
@@ -1077,6 +1194,92 @@ impl BinReader<'_> {
     }
 }
 
+// ---- typed hook reply ----------------------------------------------------
+
+/// The fully-typed payload of a successful `hook` response: the planned
+/// hook records (the same data the manifest segment will carry) plus the
+/// runtime addresses.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HookReply {
+    /// Planned hooks in function-address order (dense ids from 0).
+    pub hooks: Vec<e9hook::HookRecord>,
+    /// Base of the counter-cell table (counter payloads only).
+    pub counters_addr: Option<u64>,
+    /// Address of the manifest segment.
+    pub manifest_addr: u64,
+}
+
+impl HookReply {
+    /// Serialize to the `result` object of a `hook` response.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            (
+                "hooks",
+                Json::Arr(
+                    self.hooks
+                        .iter()
+                        .map(|h| {
+                            obj(vec![
+                                ("id", Json::Int(h.id as i128)),
+                                ("flags", Json::Int(h.flags as i128)),
+                                ("func_addr", Json::Int(h.func_addr as i128)),
+                                ("payload_addr", Json::Int(h.payload_addr as i128)),
+                                ("thunk_addr", Json::Int(h.thunk_addr as i128)),
+                                ("counter_addr", Json::Int(h.counter_addr as i128)),
+                                ("name", Json::Str(h.name.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("counters_addr", opt_u64(self.counters_addr)),
+            ("manifest_addr", Json::Int(self.manifest_addr as i128)),
+        ])
+    }
+
+    /// Decode the `result` object of a `hook` response.
+    ///
+    /// # Errors
+    ///
+    /// A string description of the first malformed field.
+    pub fn from_json(v: &Json) -> Result<HookReply, String> {
+        let u = |o: &Json, name: &str| -> Result<u64, String> {
+            o.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("hook reply: missing {name}"))
+        };
+        let mut hooks = Vec::new();
+        for h in v
+            .get("hooks")
+            .and_then(Json::as_arr)
+            .ok_or("hook reply: missing hooks")?
+        {
+            hooks.push(e9hook::HookRecord {
+                id: u(h, "id")? as u32,
+                flags: u(h, "flags")? as u32,
+                func_addr: u(h, "func_addr")?,
+                payload_addr: u(h, "payload_addr")?,
+                thunk_addr: u(h, "thunk_addr")?,
+                counter_addr: u(h, "counter_addr")?,
+                name: h
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("hook reply: missing name")?
+                    .to_string(),
+            });
+        }
+        let counters_addr = match v.get("counters_addr") {
+            Some(Json::Null) | None => None,
+            Some(j) => Some(j.as_u64().ok_or("hook reply: bad counters_addr")?),
+        };
+        Ok(HookReply {
+            hooks,
+            counters_addr,
+            manifest_addr: u(v, "manifest_addr")?,
+        })
+    }
+}
+
 // ---- typed cache-stats reply --------------------------------------------
 
 /// The fully-typed payload of a successful `cache stats` response: a
@@ -1369,6 +1572,97 @@ mod tests {
             assert_eq!(back, req);
             assert_eq!(back.encode(), line, "canonical encoding must be stable");
         }
+    }
+
+    #[test]
+    fn hook_command_and_templates_roundtrip() {
+        let cmds = vec![
+            Command::Hook {
+                funcs: vec!["f*".into(), "main".into()],
+                addrs: vec![0x401000, u64::MAX - 1],
+                call_original: true,
+                payload: e9hook::PayloadKind::Counter,
+            },
+            Command::Hook {
+                funcs: vec![],
+                addrs: vec![0x401000],
+                call_original: false,
+                payload: e9hook::PayloadKind::Raw(vec![0x90, 0xC3]),
+            },
+            Command::Hook {
+                funcs: vec!["g".into()],
+                addrs: vec![],
+                call_original: false,
+                payload: e9hook::PayloadKind::Nop,
+            },
+            Command::Patch {
+                addr: 0x401000,
+                template: Template::HookSave {
+                    func_addr: 0x70000000,
+                },
+            },
+            Command::Patch {
+                addr: 0x401000,
+                template: Template::HookOriginal {
+                    func_addr: 0x70000000,
+                    thunk_addr: 0x70000040,
+                },
+            },
+        ];
+        for (i, cmd) in cmds.into_iter().enumerate() {
+            let req = Request { id: i as u64, cmd };
+            let line = req.encode();
+            let back = Request::decode(&parse(line.as_bytes()).unwrap()).unwrap();
+            assert_eq!(back, req);
+            assert_eq!(back.encode(), line, "canonical encoding must be stable");
+        }
+        let bad = Request::decode(
+            &parse(br#"{"id":1,"method":"hook","params":{"funcs":["f"],"addrs":[],"call_original":false,"payload":{"kind":"defrag"}}}"#)
+                .unwrap(),
+        )
+        .unwrap_err();
+        assert_eq!(bad.code, code::INVALID_PARAMS);
+    }
+
+    #[test]
+    fn hook_reply_roundtrip() {
+        let reply = HookReply {
+            hooks: vec![
+                e9hook::HookRecord {
+                    id: 0,
+                    flags: 0,
+                    func_addr: 0x401000,
+                    payload_addr: 0x70000000,
+                    thunk_addr: 0,
+                    counter_addr: 0x70100000,
+                    name: "f0000".into(),
+                },
+                e9hook::HookRecord {
+                    id: 1,
+                    flags: e9hook::FLAG_CALL_ORIGINAL,
+                    func_addr: 0x401100,
+                    payload_addr: 0x70000020,
+                    thunk_addr: 0x70000040,
+                    counter_addr: 0x70100008,
+                    name: "f0001".into(),
+                },
+            ],
+            counters_addr: Some(0x70100000),
+            manifest_addr: 0x70200000,
+        };
+        let text = reply.to_json().serialize();
+        let back = HookReply::from_json(&parse(text.as_bytes()).unwrap()).unwrap();
+        assert_eq!(back, reply);
+        // No counters: null round-trips to None.
+        let none = HookReply {
+            counters_addr: None,
+            ..reply
+        };
+        let text = none.to_json().serialize();
+        assert_eq!(
+            HookReply::from_json(&parse(text.as_bytes()).unwrap()).unwrap(),
+            none
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use crate::cachekey;
 use crate::msg::{code, CacheAction, CacheDisposition, CacheStatsReply, Command, EmitReply,
-                 HealthReply, RpcError, WireMapping, PROTOCOL_VERSION};
+                 HealthReply, HookReply, RpcError, WireMapping, PROTOCOL_VERSION};
 use crate::json::{obj, Json};
 use crate::server::ShedCounters;
 use e9cache::{Cache, Entry, Hit};
@@ -196,6 +196,17 @@ impl Session {
                 self.patches.push(PatchRequest { addr, template });
                 Ok(Json::Obj(Vec::new()))
             }
+            Command::Hook {
+                funcs,
+                addrs,
+                call_original,
+                payload,
+            } => self.hook_cmd(e9hook::HookSpec {
+                funcs,
+                addrs,
+                call_original,
+                payload,
+            }),
             Command::Emit => self.emit_cmd(),
             Command::Cache { action } => self.cache_cmd(action),
             Command::Health => Ok(self.health_reply().to_json()),
@@ -335,6 +346,42 @@ impl Session {
         }
         self.insns.push(insn);
         Ok(Json::Obj(Vec::new()))
+    }
+
+    /// Plan a hook batch server-side and buffer its segments and patches
+    /// exactly as if the client had streamed them: a following `emit`
+    /// sees the identical batch (and derives the identical cache key) a
+    /// locally-planning client would have produced.
+    fn hook_cmd(&mut self, spec: e9hook::HookSpec) -> Result<Json, RpcError> {
+        let Some(binary) = self.binary.as_deref() else {
+            return Err(RpcError::state("hook before binary"));
+        };
+        let plan = e9hook::plan_hooks(binary, &self.insns, &spec)
+            .map_err(|e| RpcError::new(code::REWRITE, e.to_string()))?;
+        // Admit the whole plan or none of it: quota checks run before any
+        // buffer grows, so a rejected hook leaves the session unchanged.
+        if self.extra.len() + plan.extra.len() > self.limits.max_extra_segments {
+            return Err(Self::over_limit(
+                "reserve segments",
+                self.limits.max_extra_segments,
+            ));
+        }
+        let plan_bytes: usize = plan.extra.iter().map(|s| s.bytes.len()).sum();
+        if self.extra_bytes.saturating_add(plan_bytes) > self.limits.max_extra_bytes {
+            return Err(Self::over_limit("reserve bytes", self.limits.max_extra_bytes));
+        }
+        if self.patches.len() + plan.requests.len() > self.limits.max_patches {
+            return Err(Self::over_limit("patches", self.limits.max_patches));
+        }
+        self.extra_bytes += plan_bytes;
+        self.extra.extend(plan.extra);
+        self.patches.extend(plan.requests);
+        Ok(HookReply {
+            hooks: plan.hooks,
+            counters_addr: plan.counters_addr,
+            manifest_addr: plan.manifest_addr,
+        }
+        .to_json())
     }
 
     fn emit_cmd(&mut self) -> Result<Json, RpcError> {

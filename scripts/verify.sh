@@ -39,6 +39,12 @@
 #      E9FAILPOINTS ENOSPC schedule: rewrites stay byte-identical while
 #      the disk circuit breaker trips to memory-only mode, probes, and
 #      recovers — the whole walk observed through `e9tool health`
+#  10. hook smoke: `e9tool hook --func 'f*' --call-original` must leave
+#      program stdout byte-identical under e9vm while every counter
+#      fires (the payload side effect), hook planning must be
+#      byte-identical across --jobs 1 / --jobs 4 and through a live
+#      daemon, and a run without --call-original must also preserve
+#      stdout
 #
 # Knobs: E9QCHECK_CASES scales property-test depth (default 64);
 # E9_SEED pins the generator seed used by step 3's CLI runs;
@@ -246,5 +252,39 @@ grep -q "faults:        enabled, 4 injected" "$tmp/health.end.log" \
 kill "$fpid" 2>/dev/null || true
 wait "$fpid" 2>/dev/null || true
 echo "disk-full walk: trip, probe, recovery, byte-identical throughout: ok"
+
+echo "== hook smoke: differential behaviour + planner determinism =="
+"${e9tool[@]}" gen --tiny hooksmoke -o "$tmp/h.elf"
+"${e9tool[@]}" run "$tmp/h.elf" >"$tmp/h.orig.out"
+# Call-original hooks: stdout must be untouched, counters must fire.
+"${e9tool[@]}" hook "$tmp/h.elf" -o "$tmp/h.co.hk" --func 'f*' --call-original
+"${e9tool[@]}" run "$tmp/h.co.hk" --hook-counters \
+  >"$tmp/h.co.out" 2>"$tmp/h.co.counters"
+cmp "$tmp/h.orig.out" "$tmp/h.co.out"
+grep -E "^hook +[0-9]+ .* calls [1-9]" "$tmp/h.co.counters" >/dev/null \
+  || { echo "no hook counter ever fired" >&2; cat "$tmp/h.co.counters" >&2; exit 1; }
+# Plain (no call-original) hooks preserve stdout too.
+"${e9tool[@]}" hook "$tmp/h.elf" -o "$tmp/h.plain.hk" --func 'f*'
+"${e9tool[@]}" run "$tmp/h.plain.hk" >"$tmp/h.plain.out" 2>/dev/null
+cmp "$tmp/h.orig.out" "$tmp/h.plain.out"
+# Hook planning is deterministic across worker counts (like stage 6,
+# sequential-vs-sharded may differ; every sharded width must agree)…
+"${e9tool[@]}" hook "$tmp/h.elf" -o "$tmp/h.j1.hk" --func 'f*' --call-original --jobs 1
+"${e9tool[@]}" hook "$tmp/h.elf" -o "$tmp/h.j4.hk" --func 'f*' --call-original --jobs 4
+cmp "$tmp/h.j1.hk" "$tmp/h.j4.hk"
+# …and through a live daemon serving the hook wire command.
+hsock="$tmp/e9.hook.sock"
+target/release/e9patchd --socket "$hsock" --max-conns 1 &
+hpid=$!
+for _ in $(seq 1 100); do
+  [ -S "$hsock" ] && break
+  sleep 0.05
+done
+[ -S "$hsock" ] || { echo "hook daemon never bound its socket" >&2; exit 1; }
+"${e9tool[@]}" hook "$tmp/h.elf" -o "$tmp/h.wire.hk" --func 'f*' --call-original \
+  --backend "$hsock"
+wait "$hpid"
+cmp "$tmp/h.co.hk" "$tmp/h.wire.hk"
+echo "hooked stdout identical, counters fired, jobs/daemon byte-identical: ok"
 
 echo "ALL CHECKS PASSED"
